@@ -1,0 +1,390 @@
+// Benchmarks regenerating every figure/example of the paper plus the
+// quantitative tables P1–P5 of EXPERIMENTS.md. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment index (EXPERIMENTS.md / DESIGN.md §5):
+//
+//	E1  BenchmarkFig1ParseEncodings      — parse the four Fig. 1 encodings
+//	E2  BenchmarkFig2BuildKyGODDAG       — build the Fig. 2 KyGODDAG
+//	E3  BenchmarkQueryI1                 — Query I.1 (split word, overlap)
+//	E4  BenchmarkQueryI2                 — Query I.2 (damaged words)
+//	E5  BenchmarkExample1AnalyzeString   — Definition 4, Example 1
+//	E6  BenchmarkQueryII1                — Query II.1 (substring highlight)
+//	E7  BenchmarkQueryIII1               — Query III.1 (match + restoration)
+//	P1  BenchmarkBuildScaling/*          — KyGODDAG construction scaling
+//	P2  BenchmarkAxes*/Reference         — interval vs Definition-1-literal axes
+//	P3  BenchmarkDamagedWords*           — KyGODDAG vs fragmentation vs milestones
+//	P4  BenchmarkAnalyzeStringScaling/*  — temp-hierarchy overlay cost
+//	P5  BenchmarkParseThroughput/*       — document-centric parse throughput
+package mhxquery_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mhxquery"
+	"mhxquery/internal/core"
+	"mhxquery/internal/corpus"
+	"mhxquery/internal/fragment"
+	"mhxquery/internal/store"
+	"mhxquery/internal/xmlparse"
+	"mhxquery/internal/xquery"
+)
+
+// ---- E1/E2: Figure 1 and Figure 2 -----------------------------------------
+
+func BenchmarkFig1ParseEncodings(b *testing.B) {
+	xml := corpus.BoethiusXML()
+	names := corpus.BoethiusHierarchies()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			if _, err := xmlparse.Parse(xml[name], xmlparse.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig2BuildKyGODDAG(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trees, err := corpus.BoethiusTrees()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Build(trees); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E3–E7: the paper's queries -------------------------------------------
+
+func benchQuery(b *testing.B, src, want string) {
+	b.Helper()
+	d := corpus.MustBoethius()
+	q := xquery.MustCompile(src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := q.Eval(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := xquery.Serialize(res); got != want {
+			b.Fatalf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func BenchmarkQueryI1(b *testing.B) {
+	benchQuery(b, `for $l in /descendant::line
+  [xdescendant::w[string(.) = 'singallice'] or overlapping::w[string(.) = 'singallice']]
+return string($l)`,
+		"gesceaftum unawendendne sin gallice sibbe gecynde þa")
+}
+
+func BenchmarkQueryI2(b *testing.B) {
+	benchQuery(b, `for $l in /descendant::line[xdescendant::w[xancestor::dmg or xdescendant::dmg or overlapping::dmg]]
+return ( for $leaf in $l/descendant::leaf() return
+   if ($leaf[ancestor::w and ancestor::dmg]) then <b>{$leaf}</b> else $leaf
+ , <br/> )`,
+		"gesceaftum una<b>w</b>endendne sin<br/>gallice sibbe gecyn<b>de</b> <b>þa</b><br/>")
+}
+
+func BenchmarkExample1AnalyzeString(b *testing.B) {
+	benchQuery(b, `for $w in /descendant::w[string(.) = 'unawendendne']
+return serialize(analyze-string($w, ".*un<a>a</a>we.*"))`,
+		`<res><m>un<a>a</a>we</m>ndendne</res>`)
+}
+
+func BenchmarkQueryII1(b *testing.B) {
+	benchQuery(b, `for $w in /descendant::w[matches(string(.), ".*unawe.*")]
+return (
+  let $res := analyze-string($w, ".*unawe.*")
+  for $n in $res/child::node()
+  return if ($n[self::m]) then <b>{string($n)}</b> else string($n)
+  ,
+  <br/>
+)`,
+		"<b>unawe</b>ndendne<br/>")
+}
+
+func BenchmarkQueryIII1(b *testing.B) {
+	benchQuery(b, `for $w in /descendant::w[matches(string(.), ".*unawe.*")]
+return (
+  let $res := analyze-string($w, ".*unawe.*")
+  for $n in $res/child::node()
+  return
+    if ($n[self::m][xancestor::res('restoration') or xdescendant::res('restoration') or overlapping::res('restoration')])
+    then <i><b>{string($n)}</b></i>
+    else <b>{string($n)}</b>
+  ,
+  <br/>
+)`,
+		"<i><b>unawe</b></i><b>ndendne</b><br/>")
+}
+
+// ---- P1: construction scaling ----------------------------------------------
+
+func BenchmarkBuildScaling(b *testing.B) {
+	for _, words := range []int{100, 1000, 10000} {
+		c := corpus.Generate(corpus.Params{Seed: 1, Words: words})
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				trees, err := c.Trees()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Build(trees); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- P2: axis evaluation, interval vs Definition-1-literal reference --------
+
+func axisBenchDoc(b *testing.B, words int) *core.Document {
+	b.Helper()
+	c := corpus.Generate(corpus.Params{Seed: 2, Words: words, DamageRate: 0.15})
+	d, err := c.Document()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// impl selects one of the three extended-axis implementations: the
+// indexed default, the O(N) interval scan, or the literal Definition 1
+// set-based reference.
+func benchAxis(b *testing.B, impl string, ax core.Axis, words int) {
+	d := axisBenchDoc(b, words)
+	h := d.HierarchyByName("structure")
+	var targets []int
+	for i, n := range h.Nodes {
+		if n.Name == "w" {
+			targets = append(targets, i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := h.Nodes[targets[i%len(targets)]]
+		switch impl {
+		case "indexed":
+			d.Eval(ax, n)
+		case "scan":
+			d.EvalScan(ax, n)
+		default:
+			d.EvalRef(ax, n)
+		}
+	}
+}
+
+func BenchmarkAxesOverlappingIndexed(b *testing.B) {
+	benchAxis(b, "indexed", core.AxisOverlapping, 500)
+}
+func BenchmarkAxesOverlappingScan(b *testing.B)      { benchAxis(b, "scan", core.AxisOverlapping, 500) }
+func BenchmarkAxesOverlappingReference(b *testing.B) { benchAxis(b, "ref", core.AxisOverlapping, 500) }
+func BenchmarkAxesXAncestorIndexed(b *testing.B)     { benchAxis(b, "indexed", core.AxisXAncestor, 500) }
+func BenchmarkAxesXAncestorScan(b *testing.B)        { benchAxis(b, "scan", core.AxisXAncestor, 500) }
+func BenchmarkAxesXAncestorReference(b *testing.B)   { benchAxis(b, "ref", core.AxisXAncestor, 500) }
+func BenchmarkAxesXDescendantIndexed(b *testing.B) {
+	benchAxis(b, "indexed", core.AxisXDescendant, 500)
+}
+func BenchmarkAxesXDescendantScan(b *testing.B)   { benchAxis(b, "scan", core.AxisXDescendant, 500) }
+func BenchmarkAxesXFollowingIndexed(b *testing.B) { benchAxis(b, "indexed", core.AxisXFollowing, 500) }
+func BenchmarkAxesXFollowingScan(b *testing.B)    { benchAxis(b, "scan", core.AxisXFollowing, 500) }
+
+// ---- P3: the [6] comparison — damaged words over three representations -------
+
+func damagedWorkload(b *testing.B, words int) (*core.Document, *corpus.Corpus) {
+	b.Helper()
+	c := corpus.Generate(corpus.Params{Seed: 3, Words: words, DamageRate: 0.12})
+	d, err := c.Document()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, c
+}
+
+func BenchmarkDamagedWordsKyGODDAG(b *testing.B) {
+	for _, words := range []int{200, 1000, 5000} {
+		d, c := damagedWorkload(b, words)
+		want := len(c.Truth.DamagedWords)
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got := fragment.NativeDamagedWordIndices(d, "w", "dmg")
+				if len(got) != want {
+					b.Fatalf("damaged = %d, want %d", len(got), want)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDamagedWordsFragmentation(b *testing.B) {
+	for _, words := range []int{200, 1000, 5000} {
+		d, c := damagedWorkload(b, words)
+		want := len(c.Truth.DamagedWords)
+		// The baseline stores ONE flat document; query time includes
+		// chain reassembly and interval re-derivation, as in [6].
+		flat := fragment.Fragment(d)
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fragment.AnnotateOffsets(flat)
+				logical := fragment.ReassembleFragments(flat)
+				got := fragment.DamagedWordIndices(logical["w"], logical["dmg"])
+				if len(got) != want {
+					b.Fatalf("damaged = %d, want %d", len(got), want)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDamagedWordsMilestone(b *testing.B) {
+	for _, words := range []int{200, 1000, 5000} {
+		d, c := damagedWorkload(b, words)
+		want := len(c.Truth.DamagedWords)
+		flat, err := fragment.Milestone(d, "physical")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fragment.AnnotateOffsets(flat)
+				logical := fragment.ReassembleMilestones(flat)
+				got := fragment.DamagedWordIndices(logical["w"], logical["dmg"])
+				if len(got) != want {
+					b.Fatalf("damaged = %d, want %d", len(got), want)
+				}
+			}
+		})
+	}
+}
+
+// ---- P4: analyze-string overlay scaling --------------------------------------
+
+func BenchmarkAnalyzeStringScaling(b *testing.B) {
+	for _, words := range []int{100, 1000, 5000} {
+		c := corpus.Generate(corpus.Params{Seed: 4, Words: words})
+		d, err := c.Document()
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := xquery.MustCompile(`count(analyze-string(/descendant::vline[1], "e")/descendant::m)`)
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- P5: parse throughput ------------------------------------------------------
+
+func BenchmarkParseThroughput(b *testing.B) {
+	for _, words := range []int{1000, 10000} {
+		c := corpus.Generate(corpus.Params{Seed: 5, Words: words})
+		xml := c.XML["structure"]
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			b.SetBytes(int64(len(xml)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := xmlparse.Parse(xml, xmlparse.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- public API end-to-end ----------------------------------------------------
+
+func BenchmarkPublicAPIEndToEnd(b *testing.B) {
+	xml := corpus.BoethiusXML()
+	var hs []mhxquery.Hierarchy
+	for _, name := range corpus.BoethiusHierarchies() {
+		hs = append(hs, mhxquery.Hierarchy{Name: name, XML: xml[name]})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := mhxquery.Parse(hs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := d.QueryString(`count(/descendant::w[overlapping::line])`)
+		if err != nil || out != "1" {
+			b.Fatalf("out=%q err=%v", out, err)
+		}
+	}
+}
+
+// ---- P6: binary store vs reparse --------------------------------------------
+
+func BenchmarkStoreLoad(b *testing.B) {
+	c := corpus.Generate(corpus.Params{Seed: 6, Words: 2000})
+	d, err := c.Document()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := store.Encode(&img, d); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(img.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Decode(bytes.NewReader(img.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreReparse(b *testing.B) {
+	c := corpus.Generate(corpus.Params{Seed: 6, Words: 2000})
+	size := 0
+	for _, x := range c.XML {
+		size += len(x)
+	}
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trees, err := c.Trees()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Build(trees); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreEncode(b *testing.B) {
+	c := corpus.Generate(corpus.Params{Seed: 6, Words: 2000})
+	d, err := c.Document()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var img bytes.Buffer
+		if err := store.Encode(&img, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// TestQualitativeExperiments runs every E* reproduction (the P* timing
+// tables are exercised by the root benchmarks instead; running them here
+// would slow the suite).
+func TestQualitativeExperiments(t *testing.T) {
+	for _, id := range []string{"fig1", "fig2", "q1", "q2", "ex1", "q3", "q4"} {
+		if err := run(id); err != nil {
+			t.Errorf("experiment %s: %v", id, err)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run("bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Command mhparse builds the KyGODDAG for a multihierarchical document
+// and dumps diagnostics: composition statistics, the leaf partition table
+// (the paper's Figure 2 in tabular form), a Graphviz rendering, or one of
+// the single-document baseline encodings (fragmentation / milestones).
+//
+// Usage:
+//
+//	mhparse -h lines=a.xml -h words=b.xml -dump stats|leaves|dot|fragment|milestone
+//	mhparse -boethius -dump dot | dot -Tsvg > fig2.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/corpus"
+	"mhxquery/internal/dom"
+	"mhxquery/internal/fragment"
+	"mhxquery/internal/xmlparse"
+)
+
+func main() {
+	var hiers multiFlag
+	flag.Var(&hiers, "h", "hierarchy as name=file.xml (repeatable)")
+	dump := flag.String("dump", "stats", "what to print: stats, leaves, dot, fragment, milestone")
+	primary := flag.String("primary", "", "primary hierarchy for -dump milestone (default: first)")
+	boethius := flag.Bool("boethius", false, "use the built-in Figure 1 fixture")
+	flag.Parse()
+
+	if err := run(hiers, *dump, *primary, *boethius); err != nil {
+		fmt.Fprintln(os.Stderr, "mhparse:", err)
+		os.Exit(1)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func run(hiers []string, dump, primary string, boethius bool) error {
+	var trees []core.NamedTree
+	switch {
+	case boethius:
+		var err error
+		trees, err = corpus.BoethiusTrees()
+		if err != nil {
+			return err
+		}
+	case len(hiers) > 0:
+		for _, spec := range hiers {
+			name, file, ok := strings.Cut(spec, "=")
+			if !ok {
+				return fmt.Errorf("want -h name=file, got %q", spec)
+			}
+			b, err := os.ReadFile(file)
+			if err != nil {
+				return err
+			}
+			root, err := xmlparse.Parse(string(b), xmlparse.Options{})
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			trees = append(trees, core.NamedTree{Name: name, Root: root})
+		}
+	default:
+		return fmt.Errorf("no hierarchies given (-h name=file or -boethius)")
+	}
+
+	d, err := core.Build(trees)
+	if err != nil {
+		return err
+	}
+	switch dump {
+	case "stats":
+		s := d.Stats()
+		fmt.Printf("base text:    %d bytes\n", len(d.Text))
+		fmt.Printf("hierarchies:  %d (%s)\n", s.Hierarchies, strings.Join(d.HierarchyNames(), ", "))
+		fmt.Printf("elements:     %d\n", s.Elements)
+		fmt.Printf("text nodes:   %d\n", s.Texts)
+		fmt.Printf("leaves:       %d\n", s.Leaves)
+		fmt.Printf("tree edges:   %d\n", s.TreeEdges)
+		fmt.Printf("leaf edges:   %d\n", s.LeafEdges)
+	case "leaves":
+		fmt.Print(d.LeafTable())
+	case "dot":
+		fmt.Print(d.DOT())
+	case "fragment":
+		fmt.Println(dom.XML(fragment.Fragment(d)))
+	case "milestone":
+		if primary == "" {
+			primary = d.HierarchyNames()[0]
+		}
+		flat, err := fragment.Milestone(d, primary)
+		if err != nil {
+			return err
+		}
+		fmt.Println(dom.XML(flat))
+	default:
+		return fmt.Errorf("unknown -dump %q", dump)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDumps(t *testing.T) {
+	for _, dump := range []string{"stats", "leaves", "dot", "fragment", "milestone"} {
+		if err := run(nil, dump, "", true); err != nil {
+			t.Errorf("dump %s: %v", dump, err)
+		}
+	}
+	if err := run(nil, "milestone", "structure", true); err != nil {
+		t.Errorf("milestone with explicit primary: %v", err)
+	}
+}
+
+func TestRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.xml")
+	b := filepath.Join(dir, "b.xml")
+	if err := os.WriteFile(a, []byte(`<r><p>ab</p><p>cd</p></r>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(`<r>a<x>bc</x>d</r>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"pages=" + a, "spans=" + b}, "stats", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"no hierarchies", func() error { return run(nil, "stats", "", false) }},
+		{"bad spec", func() error { return run([]string{"nofile"}, "stats", "", false) }},
+		{"missing file", func() error { return run([]string{"a=/nope.xml"}, "stats", "", false) }},
+		{"unknown dump", func() error { return run(nil, "bogus", "", true) }},
+		{"unknown primary", func() error { return run(nil, "milestone", "nope", true) }},
+	}
+	for _, tc := range cases {
+		if err := tc.fn(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

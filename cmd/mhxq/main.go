@@ -1,0 +1,98 @@
+// Command mhxq evaluates an extended-XQuery expression over a
+// multihierarchical document.
+//
+// Usage:
+//
+//	mhxq -h name1=file1.xml -h name2=file2.xml [-f query.xq | -q 'query'] [-format xml|text]
+//	mhxq -boethius -q 'count(/descendant::w)'
+//
+// Each -h flag registers one markup hierarchy (name=path). All encodings
+// must share the root element name and base text. With -boethius the
+// built-in Figure 1 fixture of the paper is loaded instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mhxquery"
+	"mhxquery/internal/corpus"
+)
+
+type hierFlags []string
+
+func (h *hierFlags) String() string { return strings.Join(*h, ",") }
+
+func (h *hierFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=file, got %q", v)
+	}
+	*h = append(*h, v)
+	return nil
+}
+
+func main() {
+	var hiers hierFlags
+	flag.Var(&hiers, "h", "hierarchy as name=file.xml (repeatable)")
+	query := flag.String("q", "", "query text")
+	queryFile := flag.String("f", "", "file containing the query")
+	format := flag.String("format", "xml", "output format: xml or text")
+	boethius := flag.Bool("boethius", false, "use the built-in Figure 1 fixture")
+	flag.Parse()
+
+	if err := run(hiers, *query, *queryFile, *format, *boethius); err != nil {
+		fmt.Fprintln(os.Stderr, "mhxq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(hiers []string, query, queryFile, format string, boethius bool) error {
+	src := query
+	if queryFile != "" {
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	}
+	if src == "" {
+		return fmt.Errorf("no query given (-q or -f)")
+	}
+
+	var hs []mhxquery.Hierarchy
+	switch {
+	case boethius:
+		xml := corpus.BoethiusXML()
+		for _, name := range corpus.BoethiusHierarchies() {
+			hs = append(hs, mhxquery.Hierarchy{Name: name, XML: xml[name]})
+		}
+	case len(hiers) > 0:
+		for _, spec := range hiers {
+			name, file, _ := strings.Cut(spec, "=")
+			b, err := os.ReadFile(file)
+			if err != nil {
+				return err
+			}
+			hs = append(hs, mhxquery.Hierarchy{Name: name, XML: string(b)})
+		}
+	default:
+		return fmt.Errorf("no hierarchies given (-h name=file or -boethius)")
+	}
+
+	doc, err := mhxquery.Parse(hs...)
+	if err != nil {
+		return err
+	}
+	res, err := doc.Query(src)
+	if err != nil {
+		return err
+	}
+	if format == "text" {
+		fmt.Println(res.Text())
+		return nil
+	}
+	fmt.Println(res.String())
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBoethius(t *testing.T) {
+	if err := run(nil, `count(/descendant::w)`, "", "xml", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, `string(/descendant::w[1])`, "", "text", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.xml")
+	b := filepath.Join(dir, "b.xml")
+	if err := os.WriteFile(a, []byte(`<r><p>ab</p><p>cd</p></r>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(`<r>a<x>bc</x>d</r>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"pages=" + a, "spans=" + b}, `count(/descendant::x[overlapping::p])`, "", "xml", false); err != nil {
+		t.Fatal(err)
+	}
+	qf := filepath.Join(dir, "q.xq")
+	if err := os.WriteFile(qf, []byte(`string(/descendant::p[1])`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"pages=" + a, "spans=" + b}, "", qf, "xml", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"no query", func() error { return run(nil, "", "", "xml", true) }},
+		{"no hierarchies", func() error { return run(nil, "1", "", "xml", false) }},
+		{"missing file", func() error { return run([]string{"a=/nope/missing.xml"}, "1", "", "xml", false) }},
+		{"bad query", func() error { return run(nil, "for $x in", "", "xml", true) }},
+		{"missing query file", func() error { return run(nil, "", "/nope/q.xq", "xml", true) }},
+	}
+	for _, tc := range cases {
+		if err := tc.fn(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestHierFlags(t *testing.T) {
+	var h hierFlags
+	if err := h.Set("a=b.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Set("no-equals"); err == nil {
+		t.Error("malformed -h accepted")
+	}
+	if h.String() == "" {
+		t.Error("String empty")
+	}
+}

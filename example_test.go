@@ -1,0 +1,68 @@
+package mhxquery_test
+
+import (
+	"fmt"
+	"log"
+
+	"mhxquery"
+)
+
+// Example demonstrates the headline capability: a word split across a
+// page boundary cannot be expressed — let alone queried — in a single
+// XML tree; with two concurrent hierarchies it is one axis step.
+func Example() {
+	doc, err := mhxquery.Parse(
+		mhxquery.Hierarchy{Name: "pages", XML: `<r><page>Hello wo</page><page>rld</page></r>`},
+		mhxquery.Hierarchy{Name: "words", XML: `<r><w>Hello</w> <w>world</w></r>`},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := doc.QueryString(`for $w in /descendant::w[overlapping::page] return string($w)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	// Output: world
+}
+
+// ExampleDocument_Query shows a FLWOR query with an element constructor
+// over the multihierarchical document.
+func ExampleDocument_Query() {
+	doc, err := mhxquery.Parse(
+		mhxquery.Hierarchy{Name: "pages", XML: `<r><page>Hello wo</page><page>rld</page></r>`},
+		mhxquery.Hierarchy{Name: "words", XML: `<r><w>Hello</w> <w>world</w></r>`},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := doc.Query(`for $w in /descendant::w
+return <word split="{if ($w[overlapping::page]) then "yes" else "no"}">{string($w)}</word>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.String())
+	// Output: <word split="no">Hello</word><word split="yes">world</word>
+}
+
+// ExampleQuery_EvalWith shows analyze-string (Definition 4 of the paper)
+// with an externally bound pattern: matches become a temporary markup
+// hierarchy that can be queried like any other.
+func ExampleQuery_EvalWith() {
+	doc, err := mhxquery.Parse(
+		mhxquery.Hierarchy{Name: "pages", XML: `<r><page>Hello wo</page><page>rld</page></r>`},
+		mhxquery.Hierarchy{Name: "words", XML: `<r><w>Hello</w> <w>world</w></r>`},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := mhxquery.MustCompile(
+		`for $m in analyze-string(/, $pattern)/descendant::m
+return <hit text="{string($m)}" crossesPages="{if ($m[overlapping::page]) then "yes" else "no"}"/>`)
+	res, err := q.EvalWith(doc, map[string]any{"pattern": "[lr]d?"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.String())
+	// Output: <hit text="l" crossesPages="no"/><hit text="l" crossesPages="no"/><hit text="r" crossesPages="no"/><hit text="ld" crossesPages="no"/>
+}

@@ -1,0 +1,89 @@
+// Concordance: regular-expression text search that respects no markup
+// boundary, related back to the document structure.
+//
+// This is the paper's Section 2-II/III scenario generalized: build a
+// keyword-in-context concordance for a regex over a manuscript. Matches
+// are materialized as a temporary hierarchy by analyze-string, so each
+// match can be asked *structural* questions — which physical line(s) it
+// touches, whether it crosses a line break, whether it lies in restored
+// or damaged text — even though the matches overlap the markup freely.
+//
+// Run: go run ./examples/concordance [-pattern 'e[a-z]r'] [-words 150]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mhxquery"
+	"mhxquery/internal/corpus"
+)
+
+func main() {
+	pattern := flag.String("pattern", "e[a-z]r", "regular expression to search for")
+	words := flag.Int("words", 150, "manuscript size in words")
+	seed := flag.Uint64("seed", 11, "generator seed")
+	flag.Parse()
+
+	c := corpus.Generate(corpus.Params{Seed: *seed, Words: *words, DamageRate: 0.1, RestoreRate: 0.12})
+	var hs []mhxquery.Hierarchy
+	for _, name := range corpus.BoethiusHierarchies() {
+		hs = append(hs, mhxquery.Hierarchy{Name: name, XML: c.XML[name]})
+	}
+	doc, err := mhxquery.Parse(hs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One query: tag every match over the whole document, then describe
+	// each match's relationship to the structure.
+	q, err := mhxquery.Compile(`
+let $res := analyze-string(/, $pattern)
+for $m at $i in $res/descendant::m
+let $lines := $m/xancestor::line | $m/overlapping::line
+return <hit n="{$i}"
+  match="{string($m)}"
+  lines="{count($lines)}"
+  split="{if (count($lines) > 1) then "yes" else "no"}"
+  damaged="{if ($m/xancestor::dmg or $m/xdescendant::dmg or $m/overlapping::dmg) then "yes" else "no"}"
+  restored="{if ($m/xancestor::res('restoration') or $m/xdescendant::res('restoration') or $m/overlapping::res('restoration')) then "yes" else "no"}"/>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.EvalWith(doc, map[string]any{"pattern": *pattern})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("concordance for /%s/ over %d words — %d hits\n\n", *pattern, *words, res.Len())
+	for i := 0; i < res.Len(); i++ {
+		fmt.Println(res.Item(i).Node().XML())
+	}
+
+	fmt.Println("\nKWIC:")
+	text := doc.Text()
+	// A second, node-returning query gives us the <m> nodes themselves;
+	// their spans survive the evaluation, so Go code can slice S.
+	mq, err := mhxquery.Compile(`analyze-string(/, $pattern)/descendant::m`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := mq.EvalWith(doc, map[string]any{"pattern": *pattern})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.Item(i).Node()
+		s, e := m.Span()
+		lo := s - 12
+		if lo < 0 {
+			lo = 0
+		}
+		hi := e + 12
+		if hi > len(text) {
+			hi = len(text)
+		}
+		fmt.Printf("  %12s[%s]%s\n", text[lo:s], text[s:e], text[e:hi])
+	}
+}

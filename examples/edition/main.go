@@ -1,0 +1,91 @@
+// Edition: an EPPT-style presentation pipeline.
+//
+// The paper's engine served as "the main search and results presentation
+// engine for the Edition Production and Presentation Technology (EPPT)".
+// This example plays that role end to end: it renders a complete HTML
+// "reading view" of the Boethius fragment in one extended-XQuery pass —
+// physical line numbers in the margin, damaged text marked up, editorial
+// restorations italicized, verse boundaries indicated — the combination
+// of four concurrent hierarchies that no single XSLT over one tree can
+// produce.
+//
+// Run: go run ./examples/edition > edition.html
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mhxquery"
+)
+
+const (
+	physical    = `<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe gecynde þa</line></r>`
+	structure   = `<r><vline><w>gesceaftum</w> <w>unawendendne</w> </vline><vline><w>singallice</w> <w>sibbe</w> <w>gecynde</w> </vline><vline><w>þa</w></vline></r>`
+	restoration = `<r><res>gesceaftum una</res>wendendne s<res>in</res><res>gallice sibbe gecyn</res>de þa</r>`
+	damage      = `<r>gesceaftum una<dmg>w</dmg>endendne singallice sibbe gecyn<dmg>de þa</dmg></r>`
+)
+
+// editionQuery renders the whole document: for every physical line, a
+// numbered row whose leaves are decorated by consulting the damage and
+// restoration hierarchies; a word index with per-word condition follows.
+const editionQuery = `
+<article>
+  <section class="text">{
+    for $l at $n in /descendant::line
+    return
+      <p class="ms-line">
+        <span class="lineno">{$n}</span>
+        {
+          for $leaf in $l/descendant::leaf()
+          return
+            if ($leaf/xancestor::dmg and $leaf/xancestor::res('restoration'))
+            then <span class="damaged restored">{$leaf}</span>
+            else if ($leaf/xancestor::dmg)
+            then <span class="damaged">{$leaf}</span>
+            else if ($leaf/xancestor::res('restoration'))
+            then <span class="restored">{$leaf}</span>
+            else $leaf
+        }
+      </p>
+  }</section>
+  <section class="apparatus">{
+    for $w at $i in /descendant::w
+    let $damaged := $w[xancestor::dmg or xdescendant::dmg or overlapping::dmg]
+    let $split := $w[overlapping::line]
+    order by string($w)
+    return
+      <entry n="{$i}" word="{string($w)}"
+        damaged="{if ($damaged) then "yes" else "no"}"
+        split="{if ($split) then "yes" else "no"}"
+        verse="{count($w/xancestor::vline/preceding-sibling::vline) + 1}"/>
+  }</section>
+</article>`
+
+func main() {
+	doc, err := mhxquery.Parse(
+		mhxquery.Hierarchy{Name: "physical", XML: physical},
+		mhxquery.Hierarchy{Name: "structure", XML: structure},
+		mhxquery.Hierarchy{Name: "restoration", XML: restoration},
+		mhxquery.Hierarchy{Name: "damage", XML: damage},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := doc.QueryString(editionQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(`<!DOCTYPE html>
+<html lang="ang"><head><meta charset="utf-8"/>
+<title>Cotton Otho A.vi — fragment</title>
+<style>
+  .ms-line { font-family: serif; }
+  .lineno { color: #999; margin-right: 1em; }
+  .damaged { border-bottom: 2px dotted #c00; }
+  .restored { font-style: italic; color: #246; }
+  .apparatus entry { display: block; font-family: monospace; }
+</style></head><body>`)
+	fmt.Println(body)
+	fmt.Println(`</body></html>`)
+}

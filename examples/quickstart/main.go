@@ -1,0 +1,53 @@
+// Quickstart: two concurrent hierarchies over one text, one overlap query.
+//
+// A tiny document is annotated twice — once with its physical layout
+// (pages) and once with its linguistic structure (words). The word
+// "world" is split across the page break, which well-formed XML cannot
+// represent in a single tree; the multihierarchical document and the
+// `overlapping` axis handle it directly.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mhxquery"
+)
+
+func main() {
+	doc, err := mhxquery.Parse(
+		mhxquery.Hierarchy{Name: "pages", XML: `<r><page>Hello wo</page><page>rld again</page></r>`},
+		mhxquery.Hierarchy{Name: "words", XML: `<r><w>Hello</w> <w>world</w> <w>again</w></r>`},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("base text:   ", doc.Text())
+	fmt.Println("hierarchies: ", doc.Hierarchies())
+
+	// Which words cross a page boundary?
+	out, err := doc.QueryString(
+		`for $w in /descendant::w[overlapping::page] return string($w)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("split words: ", out)
+
+	// How many pages does each word touch?
+	out, err = doc.QueryString(`for $w in /descendant::w
+return <word text="{string($w)}" pages="{count($w/xancestor::page | $w/overlapping::page)}"/>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("report:      ", out)
+
+	// The leaf partition induced by both hierarchies.
+	fmt.Println("\nleaf partition:")
+	for _, l := range doc.Leaves() {
+		s, e := l.Span()
+		fmt.Printf("  [%2d,%2d) %q\n", s, e, l.Text())
+	}
+}

@@ -1,0 +1,158 @@
+package mhxquery_test
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"mhxquery"
+	"mhxquery/internal/corpus"
+)
+
+// These tests exercise the full stack — generator → parser → KyGODDAG →
+// extended XQuery — and check query answers against the generator's
+// ground truth rather than against hand-computed expectations.
+
+func generated(t *testing.T, seed uint64, words int) (*mhxquery.Document, *corpus.Corpus) {
+	t.Helper()
+	c := corpus.Generate(corpus.Params{Seed: seed, Words: words, DamageRate: 0.15, RestoreRate: 0.15})
+	var hs []mhxquery.Hierarchy
+	for _, name := range corpus.BoethiusHierarchies() {
+		hs = append(hs, mhxquery.Hierarchy{Name: name, XML: c.XML[name]})
+	}
+	d, err := mhxquery.Parse(hs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, c
+}
+
+func queryInt(t *testing.T, d *mhxquery.Document, src string) int {
+	t.Helper()
+	out, err := d.QueryString(src)
+	if err != nil {
+		t.Fatalf("%v\nquery: %s", err, src)
+	}
+	n, err := strconv.Atoi(out)
+	if err != nil {
+		t.Fatalf("non-numeric result %q for %s", out, src)
+	}
+	return n
+}
+
+func TestIntegrationDamagedWordsMatchTruth(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 77} {
+		d, c := generated(t, seed, 150)
+		got := queryInt(t, d,
+			`count(/descendant::w[xancestor::dmg or xdescendant::dmg or overlapping::dmg])`)
+		if got != len(c.Truth.DamagedWords) {
+			t.Errorf("seed %d: damaged words = %d, truth %d", seed, got, len(c.Truth.DamagedWords))
+		}
+	}
+}
+
+func TestIntegrationSplitWordsMatchTruth(t *testing.T) {
+	for _, seed := range []uint64{1, 5, 99} {
+		d, c := generated(t, seed, 150)
+		got := queryInt(t, d, `count(/descendant::w[overlapping::line])`)
+		if got != len(c.Truth.SplitWords) {
+			t.Errorf("seed %d: split words = %d, truth %d", seed, got, len(c.Truth.SplitWords))
+		}
+	}
+}
+
+func TestIntegrationWordAndLineCensus(t *testing.T) {
+	d, c := generated(t, 11, 120)
+	if got := queryInt(t, d, `count(/descendant::w)`); got != len(c.Truth.WordSpans) {
+		t.Errorf("words = %d, truth %d", got, len(c.Truth.WordSpans))
+	}
+	if got := queryInt(t, d, `count(/descendant::line)`); got != len(c.Truth.LineSpans) {
+		t.Errorf("lines = %d, truth %d", got, len(c.Truth.LineSpans))
+	}
+	if got := queryInt(t, d, `count(/descendant::vline)`); got != len(c.Truth.VerseSpans) {
+		t.Errorf("verses = %d, truth %d", got, len(c.Truth.VerseSpans))
+	}
+	// Every word is xdescendant of exactly one verse line.
+	total := 0
+	for i := 1; i <= len(c.Truth.VerseSpans); i++ {
+		total += queryInt(t, d, fmt.Sprintf(`count(/descendant::vline[%d]/xdescendant::w)`, i))
+	}
+	if total != len(c.Truth.WordSpans) {
+		t.Errorf("verse-partitioned words = %d, truth %d", total, len(c.Truth.WordSpans))
+	}
+}
+
+func TestIntegrationAnalyzeStringMatchesRegexp(t *testing.T) {
+	d, c := generated(t, 21, 100)
+	pattern := "e[a-z]r"
+	re := regexp.MustCompile(pattern)
+	want := 0
+	for _, m := range re.FindAllStringIndex(c.Text, -1) {
+		if m[0] != m[1] {
+			want++
+		}
+	}
+	q := mhxquery.MustCompile(`count(analyze-string(/, $p)/descendant::m)`)
+	res, err := q.EvalWith(d, map[string]any{"p": pattern})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != strconv.Itoa(want) {
+		t.Errorf("analyze-string matches = %s, regexp says %d", res.String(), want)
+	}
+}
+
+func TestIntegrationRestorationCoverage(t *testing.T) {
+	d, c := generated(t, 31, 120)
+	// Sum of restoration span lengths via the mh: extension functions
+	// equals the ground-truth coverage.
+	out, err := d.QueryString(
+		`sum(for $r in /descendant::res('restoration') return span-end($r) - span-start($r))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, s := range c.Truth.RestoreSpans {
+		want += s.End - s.Start
+	}
+	if out != strconv.Itoa(want) {
+		t.Errorf("restored bytes = %s, truth %d", out, want)
+	}
+}
+
+func TestIntegrationLeafPartitionTilesText(t *testing.T) {
+	d, _ := generated(t, 41, 80)
+	prevEnd := 0
+	for _, l := range d.Leaves() {
+		s, e := l.Span()
+		if s != prevEnd {
+			t.Fatalf("leaf gap at %d", s)
+		}
+		if l.Text() != d.Text()[s:e] {
+			t.Fatalf("leaf text mismatch at %d", s)
+		}
+		prevEnd = e
+	}
+	if prevEnd != len(d.Text()) {
+		t.Fatalf("leaves end at %d, text length %d", prevEnd, len(d.Text()))
+	}
+}
+
+func TestIntegrationStoreRoundTripQueries(t *testing.T) {
+	d, c := generated(t, 51, 100)
+	var img bytes.Buffer
+	if err := d.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := mhxquery.ReadDocument(&img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := queryInt(t, d2,
+		`count(/descendant::w[xancestor::dmg or xdescendant::dmg or overlapping::dmg])`)
+	if got != len(c.Truth.DamagedWords) {
+		t.Errorf("damaged words after store round-trip = %d, truth %d", got, len(c.Truth.DamagedWords))
+	}
+}

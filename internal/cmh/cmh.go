@@ -1,0 +1,196 @@
+// Package cmh models Concurrent Markup Hierarchies (CMH) as defined in
+// Section 3 of the paper: a CMH is a collection of schemas (D1..Dn) and a
+// root element r such that r occurs in every Di, no other element name is
+// shared between different Di, and every element is reachable from r.
+//
+// A multihierarchical document over a CMH is a set of XML documents
+// d1..dn and a base string S such that each di encodes S with markup from
+// Di. This package validates both levels: schema well-formedness and
+// document conformance/alignment.
+package cmh
+
+import (
+	"fmt"
+	"strings"
+
+	"mhxquery/internal/dom"
+)
+
+// Schema describes one markup hierarchy: its name and element vocabulary
+// (excluding the shared root element).
+type Schema struct {
+	Name     string
+	Elements []string
+}
+
+// CMH is a concurrent markup hierarchy: the shared root element name plus
+// one Schema per hierarchy.
+type CMH struct {
+	Root        string
+	Hierarchies []Schema
+}
+
+// Validate checks the CMH-level constraints: a non-empty shared root,
+// unique non-empty hierarchy names, and pairwise-disjoint element
+// vocabularies none of which contains the root.
+func (c *CMH) Validate() error {
+	if c.Root == "" {
+		return fmt.Errorf("cmh: empty root element name")
+	}
+	if len(c.Hierarchies) == 0 {
+		return fmt.Errorf("cmh: no hierarchies")
+	}
+	hnames := make(map[string]bool, len(c.Hierarchies))
+	owner := make(map[string]string)
+	for _, h := range c.Hierarchies {
+		if h.Name == "" {
+			return fmt.Errorf("cmh: empty hierarchy name")
+		}
+		if hnames[h.Name] {
+			return fmt.Errorf("cmh: duplicate hierarchy name %q", h.Name)
+		}
+		hnames[h.Name] = true
+		for _, e := range h.Elements {
+			if e == c.Root {
+				return fmt.Errorf("cmh: hierarchy %q uses the root element name %q", h.Name, e)
+			}
+			if prev, ok := owner[e]; ok && prev != h.Name {
+				return fmt.Errorf("cmh: element %q appears in hierarchies %q and %q", e, prev, h.Name)
+			}
+			owner[e] = h.Name
+		}
+	}
+	return nil
+}
+
+// HierarchyOf returns the hierarchy owning the given element name.
+func (c *CMH) HierarchyOf(element string) (string, bool) {
+	for _, h := range c.Hierarchies {
+		for _, e := range h.Elements {
+			if e == element {
+				return h.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Infer derives a CMH from parsed hierarchy trees: the shared root name is
+// taken from the (identical) root elements and each vocabulary is the set
+// of element names observed in the corresponding tree. The result is
+// validated.
+func Infer(names []string, roots []*dom.Node) (*CMH, error) {
+	if len(names) != len(roots) || len(names) == 0 {
+		return nil, fmt.Errorf("cmh: need one name per hierarchy tree")
+	}
+	c := &CMH{Root: roots[0].Name}
+	for i, root := range roots {
+		if root.Kind != dom.Element {
+			return nil, fmt.Errorf("cmh: hierarchy %q: root is not an element", names[i])
+		}
+		if root.Name != c.Root {
+			return nil, fmt.Errorf("cmh: hierarchy %q has root <%s>, want <%s>", names[i], root.Name, c.Root)
+		}
+		seen := map[string]bool{}
+		var elems []string
+		dom.Walk(root, func(n *dom.Node) {
+			if n.Kind == dom.Element && n != root && !seen[n.Name] {
+				seen[n.Name] = true
+				elems = append(elems, n.Name)
+			}
+		})
+		c.Hierarchies = append(c.Hierarchies, Schema{Name: names[i], Elements: elems})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ValidateDocument checks that the tree conforms to the named hierarchy:
+// correct root element, and every element drawn from that hierarchy's
+// vocabulary (nested occurrences of the root are rejected).
+func (c *CMH) ValidateDocument(hier string, root *dom.Node) error {
+	var schema *Schema
+	for i := range c.Hierarchies {
+		if c.Hierarchies[i].Name == hier {
+			schema = &c.Hierarchies[i]
+		}
+	}
+	if schema == nil {
+		return fmt.Errorf("cmh: unknown hierarchy %q", hier)
+	}
+	if root.Name != c.Root {
+		return fmt.Errorf("cmh: hierarchy %q: root <%s>, want <%s>", hier, root.Name, c.Root)
+	}
+	allowed := make(map[string]bool, len(schema.Elements))
+	for _, e := range schema.Elements {
+		allowed[e] = true
+	}
+	var err error
+	dom.Walk(root, func(n *dom.Node) {
+		if err != nil || n == root || n.Kind != dom.Element {
+			return
+		}
+		if n.Name == c.Root {
+			err = fmt.Errorf("cmh: hierarchy %q: nested root element <%s>", hier, n.Name)
+		} else if !allowed[n.Name] {
+			err = fmt.Errorf("cmh: hierarchy %q: element <%s> not in vocabulary", hier, n.Name)
+		}
+	})
+	return err
+}
+
+// AlignmentError reports the first position at which two encodings of the
+// supposedly shared base text diverge.
+type AlignmentError struct {
+	HierA, HierB string
+	Offset       int
+	ContextA     string
+	ContextB     string
+}
+
+// Error implements the error interface.
+func (e *AlignmentError) Error() string {
+	return fmt.Sprintf("cmh: hierarchies %q and %q encode different base texts (diverge at byte %d: %q vs %q)",
+		e.HierA, e.HierB, e.Offset, e.ContextA, e.ContextB)
+}
+
+// CheckAlignment verifies that every tree encodes the same base string S
+// and returns S. Names are used in error messages only.
+func CheckAlignment(names []string, roots []*dom.Node) (string, error) {
+	if len(roots) == 0 {
+		return "", fmt.Errorf("cmh: no documents")
+	}
+	s := roots[0].TextContent()
+	for i := 1; i < len(roots); i++ {
+		t := roots[i].TextContent()
+		if t == s {
+			continue
+		}
+		off := 0
+		for off < len(s) && off < len(t) && s[off] == t[off] {
+			off++
+		}
+		return "", &AlignmentError{
+			HierA: names[0], HierB: names[i], Offset: off,
+			ContextA: snippet(s, off), ContextB: snippet(t, off),
+		}
+	}
+	return s, nil
+}
+
+func snippet(s string, off int) string {
+	end := off + 12
+	if end > len(s) {
+		end = len(s)
+	}
+	if off > len(s) {
+		off = len(s)
+	}
+	out := s[off:end]
+	if end < len(s) {
+		out += "…"
+	}
+	return strings.ToValidUTF8(out, "?")
+}

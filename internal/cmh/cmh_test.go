@@ -1,0 +1,147 @@
+package cmh
+
+import (
+	"strings"
+	"testing"
+
+	"mhxquery/internal/dom"
+	"mhxquery/internal/xmlparse"
+)
+
+func TestValidateOK(t *testing.T) {
+	c := &CMH{
+		Root: "r",
+		Hierarchies: []Schema{
+			{Name: "physical", Elements: []string{"line"}},
+			{Name: "structure", Elements: []string{"vline", "w"}},
+		},
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		c    CMH
+		want string
+	}{
+		{"empty root", CMH{Hierarchies: []Schema{{Name: "a"}}}, "empty root"},
+		{"no hierarchies", CMH{Root: "r"}, "no hierarchies"},
+		{"empty hier name", CMH{Root: "r", Hierarchies: []Schema{{}}}, "empty hierarchy name"},
+		{"dup hier", CMH{Root: "r", Hierarchies: []Schema{{Name: "a"}, {Name: "a"}}}, "duplicate hierarchy"},
+		{"root in vocab", CMH{Root: "r", Hierarchies: []Schema{{Name: "a", Elements: []string{"r"}}}}, "root element name"},
+		{"shared element", CMH{Root: "r", Hierarchies: []Schema{
+			{Name: "a", Elements: []string{"x"}},
+			{Name: "b", Elements: []string{"x"}},
+		}}, "appears in hierarchies"},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestHierarchyOf(t *testing.T) {
+	c := &CMH{Root: "r", Hierarchies: []Schema{
+		{Name: "a", Elements: []string{"x", "y"}},
+		{Name: "b", Elements: []string{"z"}},
+	}}
+	if h, ok := c.HierarchyOf("z"); !ok || h != "b" {
+		t.Errorf("HierarchyOf(z) = %q, %v", h, ok)
+	}
+	if _, ok := c.HierarchyOf("nope"); ok {
+		t.Error("HierarchyOf(nope) should fail")
+	}
+}
+
+func TestInfer(t *testing.T) {
+	r1 := xmlparse.MustParse(`<r><line>ab</line><line>cd</line></r>`)
+	r2 := xmlparse.MustParse(`<r><vline><w>abcd</w></vline></r>`)
+	c, err := Infer([]string{"physical", "structure"}, []*dom.Node{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Root != "r" {
+		t.Errorf("root = %q", c.Root)
+	}
+	if h, ok := c.HierarchyOf("w"); !ok || h != "structure" {
+		t.Errorf("w owned by %q", h)
+	}
+	if h, ok := c.HierarchyOf("line"); !ok || h != "physical" {
+		t.Errorf("line owned by %q", h)
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	r1 := xmlparse.MustParse(`<r><line>ab</line></r>`)
+	r2 := xmlparse.MustParse(`<other><w>ab</w></other>`)
+	if _, err := Infer([]string{"a", "b"}, []*dom.Node{r1, r2}); err == nil {
+		t.Error("different root names should fail")
+	}
+	r3 := xmlparse.MustParse(`<r><line>ab</line></r>`)
+	if _, err := Infer([]string{"a", "b"}, []*dom.Node{r1, r3}); err == nil {
+		t.Error("shared element vocabulary should fail")
+	}
+	if _, err := Infer(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Infer([]string{"a"}, []*dom.Node{dom.NewText("x")}); err == nil {
+		t.Error("non-element root should fail")
+	}
+}
+
+func TestValidateDocument(t *testing.T) {
+	c := &CMH{Root: "r", Hierarchies: []Schema{
+		{Name: "structure", Elements: []string{"vline", "w"}},
+	}}
+	ok := xmlparse.MustParse(`<r><vline><w>x</w></vline></r>`)
+	if err := c.ValidateDocument("structure", ok); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+	bad := xmlparse.MustParse(`<r><line>x</line></r>`)
+	if err := c.ValidateDocument("structure", bad); err == nil {
+		t.Error("foreign element accepted")
+	}
+	nested := xmlparse.MustParse(`<r><w><r>x</r></w></r>`)
+	if err := c.ValidateDocument("structure", nested); err == nil {
+		t.Error("nested root accepted")
+	}
+	wrongRoot := xmlparse.MustParse(`<x><w>x</w></x>`)
+	if err := c.ValidateDocument("structure", wrongRoot); err == nil {
+		t.Error("wrong root accepted")
+	}
+	if err := c.ValidateDocument("nope", ok); err == nil {
+		t.Error("unknown hierarchy accepted")
+	}
+}
+
+func TestCheckAlignment(t *testing.T) {
+	r1 := xmlparse.MustParse(`<r><line>abcd</line></r>`)
+	r2 := xmlparse.MustParse(`<r>ab<w>cd</w></r>`)
+	s, err := CheckAlignment([]string{"a", "b"}, []*dom.Node{r1, r2})
+	if err != nil || s != "abcd" {
+		t.Fatalf("aligned: s=%q err=%v", s, err)
+	}
+	r3 := xmlparse.MustParse(`<r>abXd</r>`)
+	_, err = CheckAlignment([]string{"a", "c"}, []*dom.Node{r1, r3})
+	if err == nil {
+		t.Fatal("misaligned texts accepted")
+	}
+	ae, ok := err.(*AlignmentError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Offset != 2 {
+		t.Errorf("divergence offset = %d, want 2", ae.Offset)
+	}
+	if !strings.Contains(ae.Error(), "diverge at byte 2") {
+		t.Errorf("error text = %q", ae.Error())
+	}
+	if _, err := CheckAlignment(nil, nil); err == nil {
+		t.Error("no documents accepted")
+	}
+}

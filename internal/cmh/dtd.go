@@ -1,0 +1,798 @@
+package cmh
+
+// The paper's Section 3 defines a Concurrent Markup Hierarchy over DTDs:
+// "A CMH is a collection (D1,...,Dn) of DTDs and an XML element r such
+// that r is present in each Di, no other XML elements are shared by
+// different DTDs, and in each Di all elements x ≠ r are reachable from
+// r." This file implements the DTD substrate: a parser for the element
+// and attribute declarations of XML 1.0 DTDs (<!ELEMENT>, <!ATTLIST>),
+// content-model validation of documents against them (deterministic
+// evaluation via Brzozowski derivatives of the content-model regular
+// expression), reachability analysis, and extraction of CMH Schemas.
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"mhxquery/internal/dom"
+	"mhxquery/internal/xmlparse"
+)
+
+// ContentKind classifies an element declaration's content specification.
+type ContentKind uint8
+
+// Content specification kinds of XML 1.0 §3.2.
+const (
+	ContentEmpty ContentKind = iota // EMPTY
+	ContentAny                      // ANY
+	ContentMixed                    // (#PCDATA | a | b)*
+	ContentModel                    // children: a regular expression over elements
+)
+
+// ElementDecl is one <!ELEMENT name contentspec> declaration.
+type ElementDecl struct {
+	Name string
+	Kind ContentKind
+	// Mixed lists the element names admitted in mixed content.
+	Mixed []string
+	// Model is the content-model expression for ContentModel.
+	Model *ContentExpr
+}
+
+// AttType is the declared type of an attribute.
+type AttType uint8
+
+// Attribute types (a pragmatic subset: tokenized types all validate as
+// NMTOKEN-shaped).
+const (
+	AttCDATA AttType = iota
+	AttID
+	AttIDREF
+	AttNMTOKEN
+	AttEnum
+)
+
+// AttDecl is one attribute declaration from an <!ATTLIST>.
+type AttDecl struct {
+	Element string
+	Name    string
+	Type    AttType
+	// Enum lists the allowed values for AttEnum.
+	Enum []string
+	// Required, Implied, Fixed reflect the default declaration.
+	Required bool
+	Fixed    bool
+	// Default is the default or fixed value ("" if none).
+	Default string
+}
+
+// ContentOp is a content-model operator.
+type ContentOp uint8
+
+// Content-model expression operators.
+const (
+	OpName    ContentOp = iota // a leaf element name
+	OpSeq                      // (a, b, c)
+	OpChoice                   // (a | b | c)
+	OpOpt                      // x?
+	OpStar                     // x*
+	OpPlus                     // x+
+	OpEpsilon                  // internal: the empty word
+)
+
+// ContentExpr is a node of a content-model expression tree.
+type ContentExpr struct {
+	Op   ContentOp
+	Name string
+	Kids []*ContentExpr
+}
+
+// String renders the expression in DTD syntax.
+func (e *ContentExpr) String() string {
+	switch e.Op {
+	case OpName:
+		return e.Name
+	case OpEpsilon:
+		return "()"
+	case OpOpt:
+		return e.Kids[0].String() + "?"
+	case OpStar:
+		return e.Kids[0].String() + "*"
+	case OpPlus:
+		return e.Kids[0].String() + "+"
+	}
+	sep := ", "
+	if e.Op == OpChoice {
+		sep = " | "
+	}
+	parts := make([]string, len(e.Kids))
+	for i, k := range e.Kids {
+		parts[i] = k.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// DTD is a parsed document type definition (element and attribute
+// declarations; entities and notations are out of scope).
+type DTD struct {
+	Elements map[string]*ElementDecl
+	Attlists map[string][]*AttDecl
+}
+
+// ParseDTD parses the <!ELEMENT> and <!ATTLIST> declarations of a DTD
+// (an external subset or the bracketed internal subset body). Comments
+// and processing instructions are skipped; parameter entities are not
+// supported.
+func ParseDTD(src string) (*DTD, error) {
+	p := &dtdParser{src: src}
+	d := &DTD{Elements: map[string]*ElementDecl{}, Attlists: map[string][]*AttDecl{}}
+	for {
+		p.skipMisc()
+		if p.pos >= len(p.src) {
+			return d, nil
+		}
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<!ELEMENT"):
+			decl, err := p.parseElementDecl()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := d.Elements[decl.Name]; dup {
+				return nil, fmt.Errorf("dtd: duplicate <!ELEMENT %s>", decl.Name)
+			}
+			d.Elements[decl.Name] = decl
+		case strings.HasPrefix(p.src[p.pos:], "<!ATTLIST"):
+			el, atts, err := p.parseAttlist()
+			if err != nil {
+				return nil, err
+			}
+			d.Attlists[el] = append(d.Attlists[el], atts...)
+		default:
+			return nil, fmt.Errorf("dtd: unexpected content at offset %d: %.20q", p.pos, p.src[p.pos:])
+		}
+	}
+}
+
+type dtdParser struct {
+	src string
+	pos int
+}
+
+func (p *dtdParser) skipMisc() {
+	for p.pos < len(p.src) {
+		switch {
+		case p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r':
+			p.pos++
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			if end := strings.Index(p.src[p.pos:], "-->"); end >= 0 {
+				p.pos += end + 3
+			} else {
+				p.pos = len(p.src)
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<?"):
+			if end := strings.Index(p.src[p.pos:], "?>"); end >= 0 {
+				p.pos += end + 2
+			} else {
+				p.pos = len(p.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *dtdParser) skipWS() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *dtdParser) name() (string, error) {
+	r, sz := utf8.DecodeRuneInString(p.src[p.pos:])
+	if sz == 0 || !xmlparse.IsNameStart(r) {
+		return "", fmt.Errorf("dtd: expected name at offset %d", p.pos)
+	}
+	start := p.pos
+	p.pos += sz
+	for p.pos < len(p.src) {
+		r, sz = utf8.DecodeRuneInString(p.src[p.pos:])
+		if !xmlparse.IsNameChar(r) {
+			break
+		}
+		p.pos += sz
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *dtdParser) expect(s string) error {
+	if !strings.HasPrefix(p.src[p.pos:], s) {
+		return fmt.Errorf("dtd: expected %q at offset %d", s, p.pos)
+	}
+	p.pos += len(s)
+	return nil
+}
+
+func (p *dtdParser) parseElementDecl() (*ElementDecl, error) {
+	p.pos += len("<!ELEMENT")
+	p.skipWS()
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	decl := &ElementDecl{Name: name}
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "EMPTY"):
+		p.pos += len("EMPTY")
+		decl.Kind = ContentEmpty
+	case strings.HasPrefix(p.src[p.pos:], "ANY"):
+		p.pos += len("ANY")
+		decl.Kind = ContentAny
+	case strings.HasPrefix(p.src[p.pos:], "(") &&
+		strings.HasPrefix(strings.TrimLeft(p.src[p.pos+1:], " \t\n\r"), "#PCDATA"):
+		mixed, err := p.parseMixed()
+		if err != nil {
+			return nil, err
+		}
+		decl.Kind = ContentMixed
+		decl.Mixed = mixed
+	default:
+		model, err := p.parseCP()
+		if err != nil {
+			return nil, err
+		}
+		decl.Kind = ContentModel
+		decl.Model = model
+	}
+	p.skipWS()
+	if err := p.expect(">"); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+// parseMixed parses (#PCDATA) or (#PCDATA | a | b)*.
+func (p *dtdParser) parseMixed() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if err := p.expect("#PCDATA"); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		p.skipWS()
+		if strings.HasPrefix(p.src[p.pos:], ")") {
+			p.pos++
+			if len(names) > 0 {
+				if err := p.expect("*"); err != nil {
+					return nil, fmt.Errorf("dtd: mixed content with names requires ')*'")
+				}
+			} else if strings.HasPrefix(p.src[p.pos:], "*") {
+				p.pos++
+			}
+			return names, nil
+		}
+		if err := p.expect("|"); err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+	}
+}
+
+// parseCP parses a content particle: name or (…) group, with ?, * or +.
+func (p *dtdParser) parseCP() (*ContentExpr, error) {
+	p.skipWS()
+	var e *ContentExpr
+	if strings.HasPrefix(p.src[p.pos:], "(") {
+		p.pos++
+		group, err := p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		e = group
+	} else {
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		e = &ContentExpr{Op: OpName, Name: n}
+	}
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '?':
+			p.pos++
+			e = &ContentExpr{Op: OpOpt, Kids: []*ContentExpr{e}}
+		case '*':
+			p.pos++
+			e = &ContentExpr{Op: OpStar, Kids: []*ContentExpr{e}}
+		case '+':
+			p.pos++
+			e = &ContentExpr{Op: OpPlus, Kids: []*ContentExpr{e}}
+		}
+	}
+	return e, nil
+}
+
+// parseGroup parses the inside of (…): cp (, cp)* or cp (| cp)*.
+func (p *dtdParser) parseGroup() (*ContentExpr, error) {
+	first, err := p.parseCP()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*ContentExpr{first}
+	op := ContentOp(0)
+	sep := byte(0)
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("dtd: unterminated content-model group")
+		}
+		c := p.src[p.pos]
+		if c == ')' {
+			p.pos++
+			if len(kids) == 1 {
+				return kids[0], nil
+			}
+			return &ContentExpr{Op: op, Kids: kids}, nil
+		}
+		if c != ',' && c != '|' {
+			return nil, fmt.Errorf("dtd: expected ',', '|' or ')' at offset %d", p.pos)
+		}
+		if sep == 0 {
+			sep = c
+			if c == ',' {
+				op = OpSeq
+			} else {
+				op = OpChoice
+			}
+		} else if sep != c {
+			return nil, fmt.Errorf("dtd: mixed ',' and '|' in one group at offset %d", p.pos)
+		}
+		p.pos++
+		kid, err := p.parseCP()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, kid)
+	}
+}
+
+func (p *dtdParser) parseAttlist() (string, []*AttDecl, error) {
+	p.pos += len("<!ATTLIST")
+	p.skipWS()
+	el, err := p.name()
+	if err != nil {
+		return "", nil, err
+	}
+	var out []*AttDecl
+	for {
+		p.skipWS()
+		if strings.HasPrefix(p.src[p.pos:], ">") {
+			p.pos++
+			return el, out, nil
+		}
+		a := &AttDecl{Element: el}
+		if a.Name, err = p.name(); err != nil {
+			return "", nil, err
+		}
+		p.skipWS()
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "CDATA"):
+			p.pos += len("CDATA")
+			a.Type = AttCDATA
+		case strings.HasPrefix(p.src[p.pos:], "IDREFS"), strings.HasPrefix(p.src[p.pos:], "IDREF"):
+			if strings.HasPrefix(p.src[p.pos:], "IDREFS") {
+				p.pos += len("IDREFS")
+			} else {
+				p.pos += len("IDREF")
+			}
+			a.Type = AttIDREF
+		case strings.HasPrefix(p.src[p.pos:], "ID"):
+			p.pos += len("ID")
+			a.Type = AttID
+		case strings.HasPrefix(p.src[p.pos:], "NMTOKENS"), strings.HasPrefix(p.src[p.pos:], "NMTOKEN"),
+			strings.HasPrefix(p.src[p.pos:], "ENTITIES"), strings.HasPrefix(p.src[p.pos:], "ENTITY"),
+			strings.HasPrefix(p.src[p.pos:], "NOTATION"):
+			for _, kw := range []string{"NMTOKENS", "NMTOKEN", "ENTITIES", "ENTITY", "NOTATION"} {
+				if strings.HasPrefix(p.src[p.pos:], kw) {
+					p.pos += len(kw)
+					break
+				}
+			}
+			a.Type = AttNMTOKEN
+		case strings.HasPrefix(p.src[p.pos:], "("):
+			p.pos++
+			a.Type = AttEnum
+			for {
+				p.skipWS()
+				v, err := p.name()
+				if err != nil {
+					return "", nil, err
+				}
+				a.Enum = append(a.Enum, v)
+				p.skipWS()
+				if strings.HasPrefix(p.src[p.pos:], ")") {
+					p.pos++
+					break
+				}
+				if err := p.expect("|"); err != nil {
+					return "", nil, err
+				}
+			}
+		default:
+			return "", nil, fmt.Errorf("dtd: unknown attribute type for %s/%s", el, a.Name)
+		}
+		p.skipWS()
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "#REQUIRED"):
+			p.pos += len("#REQUIRED")
+			a.Required = true
+		case strings.HasPrefix(p.src[p.pos:], "#IMPLIED"):
+			p.pos += len("#IMPLIED")
+		case strings.HasPrefix(p.src[p.pos:], "#FIXED"):
+			p.pos += len("#FIXED")
+			a.Fixed = true
+			p.skipWS()
+			if a.Default, err = p.quoted(); err != nil {
+				return "", nil, err
+			}
+		default:
+			if a.Default, err = p.quoted(); err != nil {
+				return "", nil, err
+			}
+		}
+		out = append(out, a)
+	}
+}
+
+func (p *dtdParser) quoted() (string, error) {
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", fmt.Errorf("dtd: expected quoted value at offset %d", p.pos)
+	}
+	q := p.src[p.pos]
+	end := strings.IndexByte(p.src[p.pos+1:], q)
+	if end < 0 {
+		return "", fmt.Errorf("dtd: unterminated default value")
+	}
+	v := p.src[p.pos+1 : p.pos+1+end]
+	p.pos += end + 2
+	return v, nil
+}
+
+// ---- content-model matching via Brzozowski derivatives --------------------
+
+// nullable reports whether the expression matches the empty word.
+func nullable(e *ContentExpr) bool {
+	switch e.Op {
+	case OpEpsilon, OpOpt, OpStar:
+		return true
+	case OpName:
+		return false
+	case OpPlus:
+		return nullable(e.Kids[0])
+	case OpSeq:
+		for _, k := range e.Kids {
+			if !nullable(k) {
+				return false
+			}
+		}
+		return true
+	case OpChoice:
+		for _, k := range e.Kids {
+			if nullable(k) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+var exprFail = &ContentExpr{Op: OpChoice} // empty choice: matches nothing
+
+// derive computes the Brzozowski derivative of e with respect to name.
+func derive(e *ContentExpr, name string) *ContentExpr {
+	switch e.Op {
+	case OpEpsilon:
+		return exprFail
+	case OpName:
+		if e.Name == name {
+			return &ContentExpr{Op: OpEpsilon}
+		}
+		return exprFail
+	case OpOpt:
+		return derive(e.Kids[0], name)
+	case OpStar:
+		return seq(derive(e.Kids[0], name), e)
+	case OpPlus:
+		return seq(derive(e.Kids[0], name), &ContentExpr{Op: OpStar, Kids: e.Kids})
+	case OpChoice:
+		var alts []*ContentExpr
+		for _, k := range e.Kids {
+			if d := derive(k, name); d != exprFail {
+				alts = append(alts, d)
+			}
+		}
+		switch len(alts) {
+		case 0:
+			return exprFail
+		case 1:
+			return alts[0]
+		}
+		return &ContentExpr{Op: OpChoice, Kids: alts}
+	case OpSeq:
+		// d(k1 k2 … kn) = d(k1) k2…kn  |  (if k1 nullable) d(k2…kn)
+		rest := e.Kids[1:]
+		var restExpr *ContentExpr
+		if len(rest) == 0 {
+			restExpr = &ContentExpr{Op: OpEpsilon}
+		} else if len(rest) == 1 {
+			restExpr = rest[0]
+		} else {
+			restExpr = &ContentExpr{Op: OpSeq, Kids: rest}
+		}
+		first := seq(derive(e.Kids[0], name), restExpr)
+		if !nullable(e.Kids[0]) {
+			return first
+		}
+		second := derive(restExpr, name)
+		switch {
+		case first == exprFail:
+			return second
+		case second == exprFail:
+			return first
+		}
+		return &ContentExpr{Op: OpChoice, Kids: []*ContentExpr{first, second}}
+	}
+	return exprFail
+}
+
+func seq(a, b *ContentExpr) *ContentExpr {
+	if a == exprFail || b == exprFail {
+		return exprFail
+	}
+	if a.Op == OpEpsilon {
+		return b
+	}
+	if b.Op == OpEpsilon {
+		return a
+	}
+	return &ContentExpr{Op: OpSeq, Kids: []*ContentExpr{a, b}}
+}
+
+// MatchContent reports whether a sequence of child element names matches
+// the content model.
+func MatchContent(model *ContentExpr, names []string) bool {
+	e := model
+	for _, n := range names {
+		e = derive(e, n)
+		if e == exprFail {
+			return false
+		}
+	}
+	return nullable(e)
+}
+
+// ---- document validation ----------------------------------------------------
+
+// ValidationError describes one validity violation.
+type ValidationError struct {
+	Element string
+	Msg     string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("dtd: <%s>: %s", e.Element, e.Msg)
+}
+
+// Validate checks a document tree against the DTD: declared elements,
+// content models (with the XML whitespace allowance in element content),
+// attribute declarations, REQUIRED/FIXED/enumerated attributes, and ID
+// uniqueness. It returns all violations found.
+func (d *DTD) Validate(root *dom.Node) []error {
+	var errs []error
+	ids := map[string]bool{}
+	var visit func(n *dom.Node)
+	visit = func(n *dom.Node) {
+		if n.Kind != dom.Element {
+			return
+		}
+		decl := d.Elements[n.Name]
+		if decl == nil {
+			errs = append(errs, &ValidationError{n.Name, "element not declared"})
+		} else {
+			errs = append(errs, d.checkContent(n, decl)...)
+		}
+		errs = append(errs, d.checkAttrs(n, ids)...)
+		for _, c := range n.Children {
+			visit(c)
+		}
+	}
+	visit(root)
+	return errs
+}
+
+func (d *DTD) checkContent(n *dom.Node, decl *ElementDecl) []error {
+	var errs []error
+	switch decl.Kind {
+	case ContentAny:
+	case ContentEmpty:
+		if len(n.Children) > 0 {
+			errs = append(errs, &ValidationError{n.Name, "declared EMPTY but has content"})
+		}
+	case ContentMixed:
+		allowed := map[string]bool{}
+		for _, m := range decl.Mixed {
+			allowed[m] = true
+		}
+		for _, c := range n.Children {
+			if c.Kind == dom.Element && !allowed[c.Name] {
+				errs = append(errs, &ValidationError{n.Name,
+					fmt.Sprintf("child <%s> not allowed in mixed content %v", c.Name, decl.Mixed)})
+			}
+		}
+	case ContentModel:
+		var names []string
+		for _, c := range n.Children {
+			switch c.Kind {
+			case dom.Element:
+				names = append(names, c.Name)
+			case dom.Text:
+				if !c.IsWhitespace() {
+					errs = append(errs, &ValidationError{n.Name,
+						"character data not allowed in element content"})
+				}
+			}
+		}
+		if !MatchContent(decl.Model, names) {
+			errs = append(errs, &ValidationError{n.Name,
+				fmt.Sprintf("children %v do not match content model %s", names, decl.Model)})
+		}
+	}
+	return errs
+}
+
+func (d *DTD) checkAttrs(n *dom.Node, ids map[string]bool) []error {
+	var errs []error
+	decls := d.Attlists[n.Name]
+	declared := map[string]*AttDecl{}
+	for _, a := range decls {
+		declared[a.Name] = a
+	}
+	for _, a := range n.Attrs {
+		ad := declared[a.Name]
+		if ad == nil {
+			if len(decls) > 0 || d.Elements[n.Name] != nil {
+				errs = append(errs, &ValidationError{n.Name,
+					fmt.Sprintf("attribute %q not declared", a.Name)})
+			}
+			continue
+		}
+		switch ad.Type {
+		case AttEnum:
+			ok := false
+			for _, v := range ad.Enum {
+				if a.Data == v {
+					ok = true
+				}
+			}
+			if !ok {
+				errs = append(errs, &ValidationError{n.Name,
+					fmt.Sprintf("attribute %s=%q not in %v", a.Name, a.Data, ad.Enum)})
+			}
+		case AttID:
+			if ids[a.Data] {
+				errs = append(errs, &ValidationError{n.Name,
+					fmt.Sprintf("duplicate ID %q", a.Data)})
+			}
+			ids[a.Data] = true
+		}
+		if ad.Fixed && a.Data != ad.Default {
+			errs = append(errs, &ValidationError{n.Name,
+				fmt.Sprintf("attribute %s must be fixed to %q", a.Name, ad.Default)})
+		}
+	}
+	for _, ad := range decls {
+		if !ad.Required {
+			continue
+		}
+		if _, ok := n.Attr(ad.Name); !ok {
+			errs = append(errs, &ValidationError{n.Name,
+				fmt.Sprintf("required attribute %q missing", ad.Name)})
+		}
+	}
+	return errs
+}
+
+// ---- CMH from DTDs ------------------------------------------------------------
+
+// elementNames returns all element names declared in the DTD.
+func (d *DTD) elementNames() []string {
+	var out []string
+	for name := range d.Elements {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Reachable returns the element names reachable from root through
+// content models and mixed content.
+func (d *DTD) Reachable(root string) map[string]bool {
+	seen := map[string]bool{}
+	var visit func(name string)
+	var visitExpr func(e *ContentExpr)
+	visitExpr = func(e *ContentExpr) {
+		if e == nil {
+			return
+		}
+		if e.Op == OpName {
+			visit(e.Name)
+			return
+		}
+		for _, k := range e.Kids {
+			visitExpr(k)
+		}
+	}
+	visit = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		decl := d.Elements[name]
+		if decl == nil {
+			return
+		}
+		for _, m := range decl.Mixed {
+			visit(m)
+		}
+		visitExpr(decl.Model)
+	}
+	visit(root)
+	return seen
+}
+
+// FromDTDs builds a CMH from per-hierarchy DTDs, verifying the paper's
+// Section 3 conditions: the root is declared in every DTD, no other
+// element name is shared between different DTDs, and every declared
+// element is reachable from the root.
+func FromDTDs(root string, names []string, dtds []*DTD) (*CMH, error) {
+	if len(names) != len(dtds) || len(dtds) == 0 {
+		return nil, fmt.Errorf("cmh: need one name per DTD")
+	}
+	c := &CMH{Root: root}
+	for i, d := range dtds {
+		if d.Elements[root] == nil {
+			return nil, fmt.Errorf("cmh: DTD %q does not declare the root element <%s>", names[i], root)
+		}
+		reach := d.Reachable(root)
+		var elems []string
+		for _, e := range d.elementNames() {
+			if e == root {
+				continue
+			}
+			if !reach[e] {
+				return nil, fmt.Errorf("cmh: DTD %q: element <%s> not reachable from <%s>", names[i], e, root)
+			}
+			elems = append(elems, e)
+		}
+		c.Hierarchies = append(c.Hierarchies, Schema{Name: names[i], Elements: elems})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

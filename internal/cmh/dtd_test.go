@@ -1,0 +1,359 @@
+package cmh
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mhxquery/internal/xmlparse"
+)
+
+// boethiusStructureDTD declares the paper's structure hierarchy.
+const boethiusStructureDTD = `
+<!-- verse structure of the Boethius fragment -->
+<!ELEMENT r (#PCDATA | vline)*>
+<!ELEMENT vline (#PCDATA | w)*>
+<!ELEMENT w (#PCDATA)>
+<!ATTLIST w
+  id   ID       #IMPLIED
+  lang (ang|la) "ang"
+  n    NMTOKEN  #IMPLIED>
+`
+
+func TestParseDTDBasic(t *testing.T) {
+	d, err := ParseDTD(boethiusStructureDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Elements) != 3 {
+		t.Fatalf("elements = %d", len(d.Elements))
+	}
+	r := d.Elements["r"]
+	if r.Kind != ContentMixed || len(r.Mixed) != 1 || r.Mixed[0] != "vline" {
+		t.Errorf("r decl = %+v", r)
+	}
+	w := d.Elements["w"]
+	if w.Kind != ContentMixed || len(w.Mixed) != 0 {
+		t.Errorf("w decl = %+v", w)
+	}
+	atts := d.Attlists["w"]
+	if len(atts) != 3 {
+		t.Fatalf("attlist = %d", len(atts))
+	}
+	if atts[0].Type != AttID || atts[1].Type != AttEnum || atts[2].Type != AttNMTOKEN {
+		t.Errorf("att types = %v %v %v", atts[0].Type, atts[1].Type, atts[2].Type)
+	}
+	if atts[1].Default != "ang" || len(atts[1].Enum) != 2 {
+		t.Errorf("enum att = %+v", atts[1])
+	}
+}
+
+func TestParseDTDContentModels(t *testing.T) {
+	d, err := ParseDTD(`
+<!ELEMENT book (title, chapter+, appendix?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT chapter (title, (para | note)*)>
+<!ELEMENT para (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT appendix (para+)>
+<!ELEMENT void EMPTY>
+<!ELEMENT anything ANY>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := d.Elements["book"]
+	if book.Kind != ContentModel {
+		t.Fatal("book kind")
+	}
+	if got := book.Model.String(); got != "(title, chapter+, appendix?)" {
+		t.Errorf("book model = %s", got)
+	}
+	if d.Elements["void"].Kind != ContentEmpty || d.Elements["anything"].Kind != ContentAny {
+		t.Error("EMPTY/ANY kinds")
+	}
+}
+
+func TestParseDTDErrors(t *testing.T) {
+	cases := []string{
+		`<!ELEMENT >`,
+		`<!ELEMENT a (b,c|d)>`,              // mixed separators
+		`<!ELEMENT a (b`,                    // unterminated
+		`<!ELEMENT a (#PCDATA | b)>`,        // mixed with names needs )*
+		`<!ELEMENT a (b)> <!ELEMENT a (c)>`, // duplicate
+		`<!ATTLIST a x WHAT #IMPLIED>`,
+		`<!ATTLIST a x CDATA>`, // missing default spec
+		`junk`,
+	}
+	for _, src := range cases {
+		if _, err := ParseDTD(src); err == nil {
+			t.Errorf("ParseDTD(%q) should fail", src)
+		}
+	}
+}
+
+func TestMatchContent(t *testing.T) {
+	d, err := ParseDTD(`<!ELEMENT x (a, (b | c)*, d?)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Elements["x"].Model
+	cases := []struct {
+		names []string
+		want  bool
+	}{
+		{[]string{"a"}, true},
+		{[]string{"a", "d"}, true},
+		{[]string{"a", "b", "c", "b", "d"}, true},
+		{[]string{"a", "b", "b"}, true},
+		{[]string{}, false},
+		{[]string{"b"}, false},
+		{[]string{"a", "d", "b"}, false},
+		{[]string{"a", "e"}, false},
+		{[]string{"a", "d", "d"}, false},
+	}
+	for _, tc := range cases {
+		if got := MatchContent(m, tc.names); got != tc.want {
+			t.Errorf("MatchContent(%v) = %v, want %v", tc.names, got, tc.want)
+		}
+	}
+}
+
+func TestMatchContentPlusAndNesting(t *testing.T) {
+	d, err := ParseDTD(`<!ELEMENT x ((a, b)+ | c)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Elements["x"].Model
+	if !MatchContent(m, []string{"a", "b", "a", "b"}) {
+		t.Error("(a b)+ repeat")
+	}
+	if !MatchContent(m, []string{"c"}) {
+		t.Error("choice arm")
+	}
+	if MatchContent(m, []string{"a", "b", "a"}) {
+		t.Error("dangling a")
+	}
+	if MatchContent(m, []string{"c", "c"}) {
+		t.Error("double c")
+	}
+}
+
+// TestQuickDerivativesMatchNaive cross-checks the Brzozowski matcher
+// against a naive regexp-style backtracking matcher on random models and
+// random words.
+func TestQuickDerivativesMatchNaive(t *testing.T) {
+	alphabet := []string{"a", "b", "c"}
+	var genExpr func(r *rand.Rand, depth int) *ContentExpr
+	genExpr = func(r *rand.Rand, depth int) *ContentExpr {
+		if depth <= 0 || r.Intn(3) == 0 {
+			return &ContentExpr{Op: OpName, Name: alphabet[r.Intn(len(alphabet))]}
+		}
+		switch r.Intn(5) {
+		case 0:
+			return &ContentExpr{Op: OpSeq, Kids: []*ContentExpr{genExpr(r, depth-1), genExpr(r, depth-1)}}
+		case 1:
+			return &ContentExpr{Op: OpChoice, Kids: []*ContentExpr{genExpr(r, depth-1), genExpr(r, depth-1)}}
+		case 2:
+			return &ContentExpr{Op: OpOpt, Kids: []*ContentExpr{genExpr(r, depth-1)}}
+		case 3:
+			return &ContentExpr{Op: OpStar, Kids: []*ContentExpr{genExpr(r, depth-1)}}
+		default:
+			return &ContentExpr{Op: OpPlus, Kids: []*ContentExpr{genExpr(r, depth-1)}}
+		}
+	}
+	// naive matcher: set-of-suffix-positions NFA simulation.
+	var match func(e *ContentExpr, w []string) map[int]bool
+	match = func(e *ContentExpr, w []string) map[int]bool {
+		out := map[int]bool{}
+		switch e.Op {
+		case OpName:
+			if len(w) > 0 && w[0] == e.Name {
+				out[1] = true
+			}
+		case OpEpsilon:
+			out[0] = true
+		case OpOpt:
+			out[0] = true
+			for k := range match(e.Kids[0], w) {
+				out[k] = true
+			}
+		case OpStar, OpPlus:
+			if e.Op == OpStar {
+				out[0] = true
+			}
+			frontier := map[int]bool{0: true}
+			for len(frontier) > 0 {
+				next := map[int]bool{}
+				for pos := range frontier {
+					for k := range match(e.Kids[0], w[pos:]) {
+						if !out[pos+k] {
+							out[pos+k] = true
+							if k > 0 {
+								next[pos+k] = true
+							}
+						}
+					}
+				}
+				frontier = next
+			}
+		case OpChoice:
+			for _, kid := range e.Kids {
+				for k := range match(kid, w) {
+					out[k] = true
+				}
+			}
+		case OpSeq:
+			frontier := map[int]bool{0: true}
+			for _, kid := range e.Kids {
+				next := map[int]bool{}
+				for pos := range frontier {
+					for k := range match(kid, w[pos:]) {
+						next[pos+k] = true
+					}
+				}
+				frontier = next
+			}
+			out = frontier
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := genExpr(r, 3)
+		for trial := 0; trial < 12; trial++ {
+			n := r.Intn(6)
+			w := make([]string, n)
+			for i := range w {
+				w[i] = alphabet[r.Intn(len(alphabet))]
+			}
+			want := match(e, w)[len(w)]
+			if got := MatchContent(e, w); got != want {
+				t.Logf("seed %d: model %s word %v: derivative %v, naive %v", seed, e, w, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateDocumentAgainstDTD(t *testing.T) {
+	d, err := ParseDTD(boethiusStructureDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := xmlparse.MustParse(`<r><vline><w id="w1">ge</w> <w lang="la">sc</w></vline></r>`)
+	if errs := d.Validate(good); len(errs) != 0 {
+		t.Fatalf("valid doc rejected: %v", errs)
+	}
+	cases := []struct {
+		name string
+		xml  string
+		want string
+	}{
+		{"undeclared element", `<r><line>x</line></r>`, "not declared"},
+		{"bad mixed child", `<r><vline><vline>x</vline></vline></r>`, "not allowed in mixed"},
+		{"bad enum", `<r><vline><w lang="fr">x</w></vline></r>`, "not in"},
+		{"undeclared attr", `<r><vline><w bogus="1">x</w></vline></r>`, "not declared"},
+		{"dup id", `<r><vline><w id="a">x</w><w id="a">y</w></vline></r>`, "duplicate ID"},
+	}
+	for _, tc := range cases {
+		root := xmlparse.MustParse(tc.xml)
+		errs := d.Validate(root)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: errors %v missing %q", tc.name, errs, tc.want)
+		}
+	}
+}
+
+func TestValidateContentModelAndRequired(t *testing.T) {
+	d, err := ParseDTD(`
+<!ELEMENT doc (head, body)>
+<!ELEMENT head EMPTY>
+<!ELEMENT body (#PCDATA)>
+<!ATTLIST doc version CDATA #REQUIRED>
+<!ATTLIST head kind (a|b) #FIXED "a">
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := xmlparse.MustParse(`<doc version="1"><head/><body>x</body></doc>`)
+	if errs := d.Validate(good); len(errs) != 0 {
+		t.Fatalf("valid doc rejected: %v", errs)
+	}
+	// Whitespace between children of element content is permitted.
+	ws := xmlparse.MustParse("<doc version=\"1\">\n  <head/>\n  <body>x</body>\n</doc>")
+	if errs := d.Validate(ws); len(errs) != 0 {
+		t.Fatalf("whitespace in element content rejected: %v", errs)
+	}
+	bad := xmlparse.MustParse(`<doc><body>x</body><head/></doc>`)
+	errs := d.Validate(bad)
+	if len(errs) < 2 { // missing version + wrong order
+		t.Errorf("expected >= 2 errors, got %v", errs)
+	}
+	fixed := xmlparse.MustParse(`<doc version="1"><head kind="b"/><body>x</body></doc>`)
+	errs = d.Validate(fixed)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "fixed") {
+		t.Errorf("fixed attr violation = %v", errs)
+	}
+	empty := xmlparse.MustParse(`<doc version="1"><head>boom</head><body>x</body></doc>`)
+	errs = d.Validate(empty)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "EMPTY") {
+		t.Errorf("EMPTY violation = %v", errs)
+	}
+	cdata := xmlparse.MustParse(`<doc version="1"><head/>text<body>x</body></doc>`)
+	errs = d.Validate(cdata)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "character data") {
+		t.Errorf("pcdata violation = %v", errs)
+	}
+}
+
+func TestFromDTDs(t *testing.T) {
+	physical, err := ParseDTD(`
+<!ELEMENT r (#PCDATA | line)*>
+<!ELEMENT line (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	structure, err := ParseDTD(boethiusStructureDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromDTDs("r", []string{"physical", "structure"}, []*DTD{physical, structure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := c.HierarchyOf("line"); h != "physical" {
+		t.Errorf("line owned by %q", h)
+	}
+	if h, _ := c.HierarchyOf("w"); h != "structure" {
+		t.Errorf("w owned by %q", h)
+	}
+
+	// Shared element across DTDs is rejected.
+	clash, _ := ParseDTD(`<!ELEMENT r (#PCDATA | line)*> <!ELEMENT line (#PCDATA)>`)
+	if _, err := FromDTDs("r", []string{"a", "b"}, []*DTD{physical, clash}); err == nil {
+		t.Error("shared vocabulary accepted")
+	}
+	// Root must be declared everywhere.
+	noRoot, _ := ParseDTD(`<!ELEMENT other (#PCDATA)>`)
+	if _, err := FromDTDs("r", []string{"a", "b"}, []*DTD{physical, noRoot}); err == nil {
+		t.Error("missing root accepted")
+	}
+	// Unreachable elements are rejected.
+	orphan, _ := ParseDTD(`<!ELEMENT r (#PCDATA | x)*> <!ELEMENT x (#PCDATA)> <!ELEMENT unused (#PCDATA)>`)
+	if _, err := FromDTDs("r", []string{"a"}, []*DTD{orphan}); err == nil {
+		t.Error("unreachable element accepted")
+	}
+}

@@ -1,0 +1,504 @@
+package core
+
+import "mhxquery/internal/dom"
+
+// Axis identifies a path-language axis: the standard XPath axes (confined
+// to one hierarchy component, except when applied to the shared root) and
+// the paper's multihierarchical axes of Definition 1.
+type Axis uint8
+
+// Axis constants. The x-prefixed axes and the overlap axes are the
+// extension of Definition 1; all others have standard XPath semantics.
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisParent
+	AxisAncestor
+	AxisAncestorOrSelf
+	AxisFollowing
+	AxisPreceding
+	AxisFollowingSibling
+	AxisPrecedingSibling
+	AxisSelf
+	AxisAttribute
+	AxisXDescendant
+	AxisXAncestor
+	AxisXFollowing
+	AxisXPreceding
+	AxisPrecedingOverlapping
+	AxisFollowingOverlapping
+	AxisOverlapping
+)
+
+var axisNames = map[string]Axis{
+	"child":                 AxisChild,
+	"descendant":            AxisDescendant,
+	"descendant-or-self":    AxisDescendantOrSelf,
+	"parent":                AxisParent,
+	"ancestor":              AxisAncestor,
+	"ancestor-or-self":      AxisAncestorOrSelf,
+	"following":             AxisFollowing,
+	"preceding":             AxisPreceding,
+	"following-sibling":     AxisFollowingSibling,
+	"preceding-sibling":     AxisPrecedingSibling,
+	"self":                  AxisSelf,
+	"attribute":             AxisAttribute,
+	"xdescendant":           AxisXDescendant,
+	"xancestor":             AxisXAncestor,
+	"xfollowing":            AxisXFollowing,
+	"xpreceding":            AxisXPreceding,
+	"preceding-overlapping": AxisPrecedingOverlapping,
+	"following-overlapping": AxisFollowingOverlapping,
+	"overlapping":           AxisOverlapping,
+}
+
+// AxisByName resolves an axis name as written in path expressions.
+func AxisByName(s string) (Axis, bool) {
+	a, ok := axisNames[s]
+	return a, ok
+}
+
+// String returns the path-expression spelling of the axis.
+func (a Axis) String() string {
+	for name, ax := range axisNames {
+		if ax == a {
+			return name
+		}
+	}
+	return "axis?"
+}
+
+// Reverse reports whether the axis is a reverse axis (positional
+// predicates count from the context node backwards).
+func (a Axis) Reverse() bool {
+	switch a {
+	case AxisParent, AxisAncestor, AxisAncestorOrSelf, AxisPreceding, AxisPrecedingSibling, AxisXPreceding, AxisPrecedingOverlapping, AxisXAncestor:
+		return true
+	}
+	return false
+}
+
+// Extended reports whether the axis is one of the paper's
+// multihierarchical axes.
+func (a Axis) Extended() bool { return a >= AxisXDescendant }
+
+// Eval evaluates the axis from context node n against document d,
+// returning nodes in axis order (reverse axes: nearest first). Results
+// contain no duplicates.
+//
+// Per the paper, standard axes applied to a non-root node stay within the
+// node's own hierarchy component; applied to the shared root they range
+// over all components. The leaf layer generalizes the standard axes:
+// parent of a leaf is the set of text nodes containing it (one per
+// covering hierarchy), siblings of a leaf are the other leaves.
+func (d *Document) Eval(a Axis, n *dom.Node) []*dom.Node {
+	switch a {
+	case AxisSelf:
+		return []*dom.Node{n}
+	case AxisAttribute:
+		if n.Kind == dom.Element {
+			return append([]*dom.Node(nil), n.Attrs...)
+		}
+		return nil
+	case AxisChild:
+		return d.children(n)
+	case AxisDescendant:
+		return d.descendants(n, false)
+	case AxisDescendantOrSelf:
+		return d.descendants(n, true)
+	case AxisParent:
+		return d.parents(n)
+	case AxisAncestor:
+		return d.ancestors(n, false)
+	case AxisAncestorOrSelf:
+		return d.ancestors(n, true)
+	case AxisFollowing:
+		return d.following(n)
+	case AxisPreceding:
+		return d.preceding(n)
+	case AxisFollowingSibling:
+		return d.siblings(n, true)
+	case AxisPrecedingSibling:
+		return d.siblings(n, false)
+	}
+	return d.extendedAxis(a, n)
+}
+
+func (d *Document) children(n *dom.Node) []*dom.Node {
+	switch {
+	case n == d.Root:
+		return d.RootChildren()
+	case n.Kind == dom.Text:
+		return append([]*dom.Node(nil), d.LeavesOf(n)...)
+	case n.Kind == dom.Element:
+		return append([]*dom.Node(nil), n.Children...)
+	}
+	return nil
+}
+
+func (d *Document) descendants(n *dom.Node, self bool) []*dom.Node {
+	var out []*dom.Node
+	if self {
+		out = append(out, n)
+	}
+	switch {
+	case n == d.Root:
+		for _, h := range d.Hiers {
+			out = append(out, h.Nodes...)
+		}
+		out = append(out, d.Leaves...)
+	case n.Kind == dom.Text:
+		out = append(out, d.LeavesOf(n)...)
+	case n.Kind == dom.Element && n.Hier != "":
+		h := d.byName[n.Hier]
+		if h == nil || n.Ord >= len(h.Nodes) || h.Nodes[n.Ord] != n {
+			// Constructed tree: plain recursive walk.
+			return d.constructedDescendants(n, out)
+		}
+		out = append(out, h.Nodes[n.Ord+1:n.Last+1]...)
+		out = append(out, d.LeavesOf(n)...)
+	case n.Kind == dom.Element:
+		return d.constructedDescendants(n, out)
+	}
+	return out
+}
+
+func (d *Document) constructedDescendants(n *dom.Node, out []*dom.Node) []*dom.Node {
+	for _, c := range n.Children {
+		out = append(out, c)
+		if c.Kind == dom.Element {
+			out = d.constructedDescendants(c, out)
+		}
+	}
+	return out
+}
+
+func (d *Document) parents(n *dom.Node) []*dom.Node {
+	switch {
+	case n == d.Root:
+		return nil
+	case n.Kind == dom.Leaf:
+		return append([]*dom.Node(nil), n.LeafParents...)
+	case n.Parent != nil:
+		return []*dom.Node{n.Parent}
+	}
+	return nil
+}
+
+func (d *Document) ancestors(n *dom.Node, self bool) []*dom.Node {
+	var out []*dom.Node
+	if self {
+		out = append(out, n)
+	}
+	if n.Kind == dom.Leaf {
+		seen := map[*dom.Node]bool{}
+		for _, p := range n.LeafParents {
+			for q := p; q != nil; q = q.Parent {
+				if !seen[q] {
+					seen[q] = true
+					out = append(out, q)
+				}
+			}
+		}
+		// Nearest-first across hierarchies: sort by depth is ambiguous;
+		// we use reverse document order, which puts the shared root last.
+		tail := out
+		if self {
+			tail = out[1:]
+		}
+		SortDoc(tail)
+		for i, j := 0, len(tail)-1; i < j; i, j = i+1, j-1 {
+			tail[i], tail[j] = tail[j], tail[i]
+		}
+		return out
+	}
+	for p := n.Parent; p != nil; p = p.Parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (d *Document) following(n *dom.Node) []*dom.Node {
+	switch {
+	case n == d.Root:
+		return nil
+	case n.Kind == dom.Leaf:
+		return append([]*dom.Node(nil), d.Leaves[min(n.Ord+1, len(d.Leaves)):]...)
+	case n.Kind == dom.Attribute:
+		if n.Parent != nil {
+			return d.following(n.Parent)
+		}
+		return nil
+	case n.Hier != "":
+		if h := d.byName[n.Hier]; h != nil && n.Last+1 <= len(h.Nodes) {
+			return append([]*dom.Node(nil), h.Nodes[n.Last+1:]...)
+		}
+	}
+	return nil
+}
+
+func (d *Document) preceding(n *dom.Node) []*dom.Node {
+	var out []*dom.Node
+	switch {
+	case n == d.Root:
+		return nil
+	case n.Kind == dom.Leaf:
+		for i := min(n.Ord, len(d.Leaves)) - 1; i >= 0; i-- {
+			out = append(out, d.Leaves[i])
+		}
+		return out
+	case n.Kind == dom.Attribute:
+		if n.Parent != nil {
+			return d.preceding(n.Parent)
+		}
+		return nil
+	case n.Hier != "":
+		h := d.byName[n.Hier]
+		if h == nil {
+			return nil
+		}
+		for i := n.Ord - 1; i >= 0; i-- {
+			m := h.Nodes[i]
+			if m.Last >= n.Ord { // ancestor, not preceding
+				continue
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (d *Document) siblings(n *dom.Node, forward bool) []*dom.Node {
+	if n == d.Root || n.Kind == dom.Attribute {
+		return nil
+	}
+	if n.Kind == dom.Leaf {
+		if forward {
+			return d.following(n)
+		}
+		return d.preceding(n)
+	}
+	var sibs []*dom.Node
+	if n.Parent == d.Root {
+		if h := d.byName[n.Hier]; h != nil {
+			sibs = h.Top
+		}
+	} else if n.Parent != nil {
+		sibs = n.Parent.Children
+	}
+	idx := -1
+	for i, s := range sibs {
+		if s == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	var out []*dom.Node
+	if forward {
+		out = append(out, sibs[idx+1:]...)
+	} else {
+		for i := idx - 1; i >= 0; i-- {
+			out = append(out, sibs[i])
+		}
+	}
+	return out
+}
+
+// --- Extended axes (Definition 1), interval implementation -------------
+
+// spanNode reports whether n can act as a context node for the extended
+// axes: it must carry a span in this document's base text.
+func (d *Document) spanNode(n *dom.Node) bool {
+	if n == d.Root || n.Kind == dom.Leaf {
+		return true
+	}
+	return (n.Kind == dom.Element || n.Kind == dom.Text) && n.Hier != ""
+}
+
+func emptySpan(n *dom.Node) bool { return n.Start >= n.End }
+
+// containsLeaves reports leaves(inner) ⊆ leaves(outer), reading
+// Definition 1 literally: the empty leaf set is contained in every set.
+func containsLeaves(outer, inner *dom.Node) bool {
+	if emptySpan(inner) {
+		return true
+	}
+	if emptySpan(outer) {
+		return false
+	}
+	return outer.Start <= inner.Start && inner.End <= outer.End
+}
+
+// inDescendantOrSelf reports m ∈ descendant(n) ∪ {n}, where descendant is
+// taken within n's own hierarchy (leaves reachable through its text nodes
+// included), per the notation preceding Definition 1.
+func (d *Document) inDescendantOrSelf(n, m *dom.Node) bool {
+	if m == n {
+		return true
+	}
+	if n == d.Root {
+		return true
+	}
+	switch n.Kind {
+	case dom.Leaf:
+		return false
+	case dom.Element, dom.Text:
+		if m.Kind == dom.Leaf {
+			return n.Start <= m.Start && m.End <= n.End
+		}
+		if m == d.Root {
+			return false
+		}
+		return m.Hier == n.Hier && n.Ord < m.Ord && m.Ord <= n.Last
+	}
+	return false
+}
+
+// inAncestorOrSelf reports m ∈ ancestor(n) ∪ {n}. A leaf belongs to every
+// hierarchy covering it, so every covering element/text node (and the
+// shared root) is its ancestor.
+func (d *Document) inAncestorOrSelf(n, m *dom.Node) bool {
+	if m == n {
+		return true
+	}
+	if n == d.Root {
+		return false
+	}
+	if m == d.Root {
+		return true
+	}
+	switch n.Kind {
+	case dom.Leaf:
+		return (m.Kind == dom.Element || m.Kind == dom.Text) && m.Hier != "" &&
+			m.Start <= n.Start && n.End <= m.End
+	case dom.Element, dom.Text:
+		return m.Kind == dom.Element && m.Hier == n.Hier && m.Ord < n.Ord && n.Ord <= m.Last
+	}
+	return false
+}
+
+// extendedAxis dispatches a Definition 1 axis to the indexed
+// implementation (axesidx.go); the degenerate empty-leaf-set cases keep
+// the literal ∅-semantics via the full scan.
+func (d *Document) extendedAxis(a Axis, n *dom.Node) []*dom.Node {
+	if !d.spanNode(n) {
+		return nil
+	}
+	switch a {
+	case AxisXAncestor, AxisXDescendant:
+		if n != d.Root && emptySpan(n) {
+			return d.extendedScan(a, n)
+		}
+		if a == AxisXAncestor {
+			return d.xancestorIdx(n)
+		}
+		return d.xdescendantIdx(n)
+	default:
+		if emptySpan(n) {
+			return nil
+		}
+		switch a {
+		case AxisXFollowing:
+			return d.xfollowingIdx(n)
+		case AxisXPreceding:
+			return d.xprecedingIdx(n)
+		case AxisPrecedingOverlapping, AxisFollowingOverlapping, AxisOverlapping:
+			return d.overlapIdx(a, n)
+		}
+	}
+	return nil
+}
+
+// EvalScan evaluates an extended axis with the unindexed O(N) interval
+// scan over the whole node set — the ablation baseline for the indexed
+// implementation used by Eval. Standard axes delegate to Eval.
+func (d *Document) EvalScan(a Axis, n *dom.Node) []*dom.Node {
+	if !a.Extended() {
+		return d.Eval(a, n)
+	}
+	if !d.spanNode(n) {
+		return nil
+	}
+	return d.extendedScan(a, n)
+}
+
+// extendedScan evaluates one of the Definition 1 axes by scanning all
+// candidate nodes (root, every hierarchy node, every leaf — the node set
+// N of the KyGODDAG) with an O(1) interval predicate. Results are in
+// document order by construction.
+func (d *Document) extendedScan(a Axis, n *dom.Node) []*dom.Node {
+	var pred func(m *dom.Node) bool
+	switch a {
+	case AxisXAncestor:
+		pred = func(m *dom.Node) bool {
+			return containsLeaves(m, n) && !d.inDescendantOrSelf(n, m)
+		}
+	case AxisXDescendant:
+		pred = func(m *dom.Node) bool {
+			return containsLeaves(n, m) && !d.inAncestorOrSelf(n, m)
+		}
+	case AxisXFollowing:
+		if emptySpan(n) {
+			return nil
+		}
+		pred = func(m *dom.Node) bool { return !emptySpan(m) && m.Start >= n.End }
+	case AxisXPreceding:
+		if emptySpan(n) {
+			return nil
+		}
+		pred = func(m *dom.Node) bool { return !emptySpan(m) && m.End <= n.Start }
+	case AxisPrecedingOverlapping:
+		if emptySpan(n) {
+			return nil
+		}
+		pred = func(m *dom.Node) bool {
+			return !emptySpan(m) && m.Start < n.Start && n.Start < m.End && n.End > m.End
+		}
+	case AxisFollowingOverlapping:
+		if emptySpan(n) {
+			return nil
+		}
+		pred = func(m *dom.Node) bool {
+			return !emptySpan(m) && n.Start < m.Start && m.Start < n.End && m.End > n.End
+		}
+	case AxisOverlapping:
+		if emptySpan(n) {
+			return nil
+		}
+		pred = func(m *dom.Node) bool {
+			if emptySpan(m) {
+				return false
+			}
+			return (m.Start < n.Start && n.Start < m.End && n.End > m.End) ||
+				(n.Start < m.Start && m.Start < n.End && m.End > n.End)
+		}
+	default:
+		return nil
+	}
+	var out []*dom.Node
+	if pred(d.Root) {
+		out = append(out, d.Root)
+	}
+	for _, h := range d.Hiers {
+		for _, m := range h.Nodes {
+			if pred(m) {
+				out = append(out, m)
+			}
+		}
+	}
+	for _, l := range d.Leaves {
+		if pred(l) {
+			out = append(out, l)
+		}
+	}
+	if a.Reverse() {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}

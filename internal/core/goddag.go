@@ -1,0 +1,349 @@
+// Package core implements the KyGODDAG, the paper's central data
+// structure: a directed acyclic graph uniting the DOM trees of n
+// concurrent markup hierarchies over the same base text S at a shared
+// root, with an additional layer of leaf nodes — the partition of S
+// induced by every markup boundary of every hierarchy — connected to the
+// text node that contains them in each hierarchy.
+//
+// The package provides construction (Build), overlay documents for the
+// temporary hierarchies created by analyze-string (AddHierarchy), the
+// standard XPath axes confined to one hierarchy component, the paper's
+// extended multihierarchical axes (Definition 1) in both a fast
+// interval-arithmetic implementation and a literal set-based reference
+// implementation, the stable node order of Definition 3 (dom.Compare),
+// and diagnostic exports (DOT graphs and leaf tables, reproducing the
+// paper's Figure 2).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mhxquery/internal/cmh"
+	"mhxquery/internal/dom"
+)
+
+// Hierarchy is one markup hierarchy registered in a Document.
+type Hierarchy struct {
+	Name  string
+	Index int
+	// Top holds the top-level nodes of the hierarchy (the children its
+	// original root element contributed to the shared KyGODDAG root).
+	Top []*dom.Node
+	// Nodes lists every element and text node of the hierarchy in
+	// preorder; Nodes[n.Ord] == n and a node's subtree occupies
+	// Nodes[n.Ord..n.Last].
+	Nodes []*dom.Node
+	// Temp marks hierarchies created by analyze-string; they live only
+	// for the duration of a query evaluation.
+	Temp bool
+
+	// byEnd lists the hierarchy's nodes sorted by span End (the
+	// xpreceding index).
+	byEnd []*dom.Node
+}
+
+// NamedTree pairs a hierarchy name with its parsed document tree.
+type NamedTree struct {
+	Name string
+	Root *dom.Node
+}
+
+// Document is a KyGODDAG over a base text.
+type Document struct {
+	// Text is the base string S shared by all hierarchies.
+	Text string
+	// Root is the shared root node (HierIndex == dom.RootHier). Its child
+	// edges are not stored on the node — use RootChildren — so that
+	// overlay documents can share it without mutation.
+	Root *dom.Node
+	// Hiers lists the hierarchies in registration (document) order.
+	Hiers []*Hierarchy
+	// Bounds is the sorted array of all markup boundary offsets,
+	// including 0 and len(Text); leaf i spans [Bounds[i], Bounds[i+1]).
+	Bounds []int
+	// Leaves is the leaf layer, in text order.
+	Leaves []*dom.Node
+	// Base points to the document this overlay was derived from, or nil.
+	Base *Document
+
+	byName map[string]*Hierarchy
+	// empties lists all empty-span nodes of all hierarchies: under the
+	// literal Definition 1, leaves(m)=∅ makes them xdescendants of
+	// every node.
+	empties []*dom.Node
+}
+
+// Build constructs the KyGODDAG for the given hierarchy encodings. It
+// verifies that all trees share the same root element name and encode the
+// same base text, and that element vocabularies are pairwise disjoint
+// (the CMH conditions of Section 3).
+func Build(trees []NamedTree) (*Document, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("core: no hierarchies")
+	}
+	names := make([]string, len(trees))
+	roots := make([]*dom.Node, len(trees))
+	for i, t := range trees {
+		if t.Root == nil || t.Root.Kind != dom.Element {
+			return nil, fmt.Errorf("core: hierarchy %q: missing root element", t.Name)
+		}
+		names[i], roots[i] = t.Name, t.Root
+	}
+	if _, err := cmh.Infer(names, roots); err != nil {
+		return nil, err
+	}
+	text, err := cmh.CheckAlignment(names, roots)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Document{Text: text, byName: make(map[string]*Hierarchy, len(trees))}
+	root := dom.NewElement(roots[0].Name)
+	root.HierIndex = dom.RootHier
+	root.Start, root.End = 0, len(text)
+	d.Root = root
+
+	for i, t := range trees {
+		for _, a := range t.Root.Attrs {
+			if _, ok := root.Attr(a.Name); !ok {
+				root.SetAttr(a.Name, a.Data)
+			}
+		}
+		h := &Hierarchy{Name: t.Name, Index: i}
+		for _, c := range t.Root.Children {
+			c.Parent = root
+			h.Top = append(h.Top, c)
+		}
+		indexHierarchy(h, i)
+		d.Hiers = append(d.Hiers, h)
+		d.byName[h.Name] = h
+	}
+	d.partition()
+	return d, nil
+}
+
+// indexHierarchy assigns Hier/HierIndex/Ord/Last over the hierarchy's
+// nodes and fills h.Nodes in preorder.
+func indexHierarchy(h *Hierarchy, index int) {
+	var visit func(n *dom.Node)
+	visit = func(n *dom.Node) {
+		n.Hier, n.HierIndex = h.Name, index
+		n.Ord = len(h.Nodes)
+		h.Nodes = append(h.Nodes, n)
+		for _, a := range n.Attrs {
+			a.Hier, a.HierIndex, a.Ord = n.Hier, n.HierIndex, n.Ord
+		}
+		for _, c := range n.Children {
+			visit(c)
+		}
+		n.Last = len(h.Nodes) - 1
+	}
+	for _, t := range h.Top {
+		visit(t)
+	}
+	h.byEnd = append([]*dom.Node(nil), h.Nodes...)
+	sort.SliceStable(h.byEnd, func(i, j int) bool { return h.byEnd[i].End < h.byEnd[j].End })
+}
+
+// partition recomputes Bounds, Leaves and the text→leaf links.
+func (d *Document) partition() {
+	set := map[int]bool{0: true, len(d.Text): true}
+	for _, h := range d.Hiers {
+		for _, n := range h.Nodes {
+			set[n.Start] = true
+			set[n.End] = true
+		}
+	}
+	bounds := make([]int, 0, len(set))
+	for b := range set {
+		bounds = append(bounds, b)
+	}
+	sort.Ints(bounds)
+	d.Bounds = bounds
+
+	d.Leaves = make([]*dom.Node, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		leaf := &dom.Node{
+			Kind:      dom.Leaf,
+			Data:      d.Text[bounds[i]:bounds[i+1]],
+			Start:     bounds[i],
+			End:       bounds[i+1],
+			Ord:       i,
+			Last:      i,
+			HierIndex: dom.LeafHier,
+		}
+		d.Leaves = append(d.Leaves, leaf)
+	}
+	d.empties = nil
+	for _, h := range d.Hiers {
+		for _, n := range h.Nodes {
+			if n.Start >= n.End {
+				d.empties = append(d.empties, n)
+			}
+			if n.Kind != dom.Text {
+				continue
+			}
+			lo, hi := d.LeafRange(n)
+			for i := lo; i < hi; i++ {
+				d.Leaves[i].LeafParents = append(d.Leaves[i].LeafParents, n)
+			}
+		}
+	}
+}
+
+// LeafRange returns the half-open leaf-index interval [lo,hi) covered by
+// the node, i.e. leaves(n) of the paper. Nodes without a base-text span
+// (attributes, comments, constructed nodes) yield an empty interval.
+func (d *Document) LeafRange(n *dom.Node) (lo, hi int) {
+	switch n.Kind {
+	case dom.Leaf:
+		return n.Ord, n.Ord + 1
+	case dom.Element, dom.Text:
+		if n == d.Root {
+			return 0, len(d.Leaves)
+		}
+		if n.Hier == "" { // constructed node: no span in S
+			return 0, 0
+		}
+		lo = sort.SearchInts(d.Bounds, n.Start)
+		hi = sort.SearchInts(d.Bounds, n.End)
+		return lo, hi
+	}
+	return 0, 0
+}
+
+// LeavesOf returns the leaves covered by a node, in text order.
+func (d *Document) LeavesOf(n *dom.Node) []*dom.Node {
+	lo, hi := d.LeafRange(n)
+	return d.Leaves[lo:hi]
+}
+
+// HierarchyByName returns the named hierarchy, or nil.
+func (d *Document) HierarchyByName(name string) *Hierarchy { return d.byName[name] }
+
+// HierarchyNames returns the registered hierarchy names in order.
+func (d *Document) HierarchyNames() []string {
+	out := make([]string, len(d.Hiers))
+	for i, h := range d.Hiers {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// RootChildren assembles the child list of the shared root: the top-level
+// nodes of every hierarchy in hierarchy order. (Root child edges are
+// computed, not stored, so overlays can share the root node.)
+func (d *Document) RootChildren() []*dom.Node {
+	var out []*dom.Node
+	for _, h := range d.Hiers {
+		out = append(out, h.Top...)
+	}
+	return out
+}
+
+// IsRoot reports whether n is the shared KyGODDAG root of this document.
+func (d *Document) IsRoot(n *dom.Node) bool { return n == d.Root }
+
+// Owns reports whether the node belongs to this document: the root, a
+// node of a registered hierarchy, or one of this document's leaves.
+func (d *Document) Owns(n *dom.Node) bool {
+	if n == d.Root {
+		return true
+	}
+	if n.Kind == dom.Leaf {
+		return n.Ord < len(d.Leaves) && d.Leaves[n.Ord] == n
+	}
+	h, ok := d.byName[n.Hier]
+	return ok && n.Ord < len(h.Nodes) && h.Nodes[n.Ord] == n
+}
+
+// AddHierarchy returns a new overlay Document extending d with one more
+// hierarchy whose top-level element is top. The tree's Start/End spans
+// must already be expressed in d.Text coordinates (it may cover only a
+// sub-span of S, as the temporary hierarchies of analyze-string do). The
+// base document is never mutated: hierarchies are shared, the boundary
+// array and leaf layer are recomputed for the overlay.
+func (d *Document) AddHierarchy(name string, top *dom.Node, temp bool) (*Document, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: empty hierarchy name")
+	}
+	if _, exists := d.byName[name]; exists {
+		return nil, fmt.Errorf("core: hierarchy %q already registered", name)
+	}
+	if top == nil || top.Kind != dom.Element {
+		return nil, fmt.Errorf("core: hierarchy %q: top node must be an element", name)
+	}
+	if top.Start < 0 || top.End > len(d.Text) || top.Start > top.End {
+		return nil, fmt.Errorf("core: hierarchy %q: span [%d,%d) outside base text", name, top.Start, top.End)
+	}
+	nd := &Document{
+		Text:   d.Text,
+		Root:   d.Root,
+		Base:   d,
+		byName: make(map[string]*Hierarchy, len(d.Hiers)+1),
+	}
+	nd.Hiers = append(nd.Hiers, d.Hiers...)
+	h := &Hierarchy{Name: name, Index: len(nd.Hiers), Temp: temp, Top: []*dom.Node{top}}
+	top.Parent = d.Root
+	indexHierarchy(h, h.Index)
+	nd.Hiers = append(nd.Hiers, h)
+	for _, hh := range nd.Hiers {
+		nd.byName[hh.Name] = hh
+	}
+	nd.partition()
+	return nd, nil
+}
+
+// Stats summarizes the KyGODDAG's composition (used by cmd/mhparse and
+// the Figure 2 reproduction).
+type Stats struct {
+	Hierarchies int
+	Elements    int
+	Texts       int
+	Leaves      int
+	// LeafEdges counts text→leaf edges (a leaf contributes one edge per
+	// hierarchy whose text covers it).
+	LeafEdges int
+	// TreeEdges counts parent→child edges within hierarchies plus the
+	// root→top edges.
+	TreeEdges int
+}
+
+// Stats computes composition statistics for the document.
+func (d *Document) Stats() Stats {
+	var s Stats
+	s.Hierarchies = len(d.Hiers)
+	s.Leaves = len(d.Leaves)
+	for _, h := range d.Hiers {
+		s.TreeEdges += len(h.Top)
+		for _, n := range h.Nodes {
+			switch n.Kind {
+			case dom.Element:
+				s.Elements++
+				s.TreeEdges += len(n.Children)
+			case dom.Text:
+				s.Texts++
+			}
+		}
+	}
+	for _, l := range d.Leaves {
+		s.LeafEdges += len(l.LeafParents)
+	}
+	return s
+}
+
+// SortDoc sorts nodes in the Definition 3 document order and removes
+// duplicates in place, returning the shortened slice.
+func SortDoc(nodes []*dom.Node) []*dom.Node {
+	sort.SliceStable(nodes, func(i, j int) bool { return dom.Compare(nodes[i], nodes[j]) < 0 })
+	out := nodes[:0]
+	var prev *dom.Node
+	for _, n := range nodes {
+		if n != prev {
+			out = append(out, n)
+		}
+		prev = n
+	}
+	return out
+}

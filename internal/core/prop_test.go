@@ -1,0 +1,368 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/corpus"
+	"mhxquery/internal/dom"
+	"mhxquery/internal/xmlparse"
+)
+
+func parseXML(s string) (*dom.Node, error) {
+	return xmlparse.Parse(s, xmlparse.Options{})
+}
+
+// buildRandom builds a small random multihierarchical document:
+// hierarchy A tiles the text with <seg> elements, B wraps random spans in
+// <mark>, C wraps random spans in <note>. Spans are arbitrary, so every
+// overlap configuration occurs.
+func buildRandom(seed int64) (*core.Document, error) {
+	r := rand.New(rand.NewSource(seed))
+	textLen := 8 + r.Intn(24)
+	var sb strings.Builder
+	for i := 0; i < textLen; i++ {
+		sb.WriteByte(byte('a' + r.Intn(4)))
+	}
+	text := sb.String()
+
+	tile := func(tag string) string {
+		var b strings.Builder
+		b.WriteString("<r>")
+		pos := 0
+		for pos < len(text) {
+			end := pos + 1 + r.Intn(6)
+			if end > len(text) {
+				end = len(text)
+			}
+			fmt.Fprintf(&b, "<%s>%s</%s>", tag, text[pos:end], tag)
+			pos = end
+		}
+		b.WriteString("</r>")
+		return b.String()
+	}
+	spans := func(tag string) string {
+		var b strings.Builder
+		b.WriteString("<r>")
+		pos := 0
+		for pos < len(text) {
+			if r.Intn(3) == 0 {
+				end := pos + 1 + r.Intn(7)
+				if end > len(text) {
+					end = len(text)
+				}
+				fmt.Fprintf(&b, "<%s>%s</%s>", tag, text[pos:end], tag)
+				pos = end
+				continue
+			}
+			end := pos + 1 + r.Intn(4)
+			if end > len(text) {
+				end = len(text)
+			}
+			b.WriteString(text[pos:end])
+			pos = end
+		}
+		b.WriteString("</r>")
+		return b.String()
+	}
+	ra, err := parseXML(tile("seg"))
+	if err != nil {
+		return nil, err
+	}
+	rb, err := parseXML(spans("mark"))
+	if err != nil {
+		return nil, err
+	}
+	rc, err := parseXML(spans("note"))
+	if err != nil {
+		return nil, err
+	}
+	return core.Build([]core.NamedTree{
+		{Name: "A", Root: ra},
+		{Name: "B", Root: rb},
+		{Name: "C", Root: rc},
+	})
+}
+
+func allNodesOf(d *core.Document) []*dom.Node {
+	out := []*dom.Node{d.Root}
+	for _, h := range d.Hiers {
+		out = append(out, h.Nodes...)
+	}
+	out = append(out, d.Leaves...)
+	return out
+}
+
+var extendedAxes = []core.Axis{
+	core.AxisXAncestor, core.AxisXDescendant, core.AxisXFollowing,
+	core.AxisXPreceding, core.AxisPrecedingOverlapping,
+	core.AxisFollowingOverlapping, core.AxisOverlapping,
+}
+
+// TestQuickAxesMatchReference is the central property test: for random
+// documents, all three implementations of every extended axis — the
+// indexed default (Eval), the O(N) interval scan (EvalScan) and the
+// literal set-based transcription of Definition 1 (EvalRef) — agree
+// exactly, members and order.
+func TestQuickAxesMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := buildRandom(seed)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		for _, n := range allNodesOf(d) {
+			for _, ax := range extendedAxes {
+				fast := d.Eval(ax, n)
+				scan := d.EvalScan(ax, n)
+				ref := d.EvalRef(ax, n)
+				if len(fast) != len(ref) || len(scan) != len(ref) {
+					t.Logf("seed %d: %s(%s %q): indexed %d / scan %d / ref %d nodes",
+						seed, ax, n.Kind, n.TextContent(), len(fast), len(scan), len(ref))
+					return false
+				}
+				for i := range fast {
+					if fast[i] != ref[i] || scan[i] != ref[i] {
+						t.Logf("seed %d: %s(%s %q): order mismatch at %d",
+							seed, ax, n.Kind, n.TextContent(), i)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPartitionInvariants checks the leaf-partition invariants on
+// random documents: bounds strictly sorted, leaves concatenate to S,
+// every text node's leaves concatenate to its content, every leaf has one
+// parent per covering hierarchy.
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := buildRandom(seed)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(d.Bounds); i++ {
+			if d.Bounds[i-1] >= d.Bounds[i] {
+				t.Logf("seed %d: bounds not strictly sorted", seed)
+				return false
+			}
+		}
+		var sb strings.Builder
+		for _, l := range d.Leaves {
+			sb.WriteString(l.Data)
+		}
+		if sb.String() != d.Text {
+			t.Logf("seed %d: leaves do not concatenate to S", seed)
+			return false
+		}
+		for _, h := range d.Hiers {
+			for _, n := range h.Nodes {
+				if n.Kind != dom.Text {
+					continue
+				}
+				var tb strings.Builder
+				for _, l := range d.LeavesOf(n) {
+					tb.WriteString(l.Data)
+				}
+				if tb.String() != n.Data {
+					t.Logf("seed %d: text node leaves mismatch", seed)
+					return false
+				}
+			}
+		}
+		for _, l := range d.Leaves {
+			seen := map[string]bool{}
+			for _, p := range l.LeafParents {
+				if p.Kind != dom.Text || seen[p.Hier] {
+					t.Logf("seed %d: bad leaf parents", seed)
+					return false
+				}
+				seen[p.Hier] = true
+				if !(p.Start <= l.Start && l.End <= p.End) {
+					t.Logf("seed %d: leaf parent does not cover leaf", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLeafRangeMatchesLeafSet checks interval leaves(x) == traversal
+// leaves(x) for every node.
+func TestQuickLeafRangeMatchesLeafSet(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := buildRandom(seed)
+		if err != nil {
+			return false
+		}
+		for _, n := range allNodesOf(d) {
+			lo, hi := d.LeafRange(n)
+			ref := d.LeafSetRef(n)
+			if hi-lo != len(ref) {
+				t.Logf("seed %d: leaf range size %d vs set %d for %s", seed, hi-lo, len(ref), n.Kind)
+				return false
+			}
+			for i := lo; i < hi; i++ {
+				if !ref[d.Leaves[i]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrderIsTotal checks Definition 3's order is a strict total
+// order over the node set.
+func TestQuickOrderIsTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := buildRandom(seed)
+		if err != nil {
+			return false
+		}
+		nodes := allNodesOf(d)
+		for i, a := range nodes {
+			for j, b := range nodes {
+				c := dom.Compare(a, b)
+				switch {
+				case i == j && c != 0:
+					return false
+				case i != j && c == 0:
+					t.Logf("seed %d: distinct nodes compare equal", seed)
+					return false
+				case c != -dom.Compare(b, a):
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOverlayPreservesBase checks that adding a temporary hierarchy
+// never changes any axis result computed against the base document.
+func TestQuickOverlayPreservesBase(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := buildRandom(seed)
+		if err != nil {
+			return false
+		}
+		// Snapshot some axis results.
+		type key struct {
+			n  *dom.Node
+			ax core.Axis
+		}
+		snap := map[key][]*dom.Node{}
+		nodes := allNodesOf(d)
+		for _, n := range nodes {
+			for _, ax := range extendedAxes {
+				snap[key{n, ax}] = d.Eval(ax, n)
+			}
+		}
+		// Create an overlay over a random sub-span.
+		r := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		if len(d.Text) < 2 {
+			return true
+		}
+		s := r.Intn(len(d.Text) - 1)
+		e := s + 1 + r.Intn(len(d.Text)-s-1)
+		top := dom.NewElement("res")
+		top.Start, top.End = s, e
+		txt := dom.NewText(d.Text[s:e])
+		txt.Start, txt.End = s, e
+		top.AppendChild(txt)
+		od, err := d.AddHierarchy("rest", top, true)
+		if err != nil {
+			t.Logf("seed %d: overlay: %v", seed, err)
+			return false
+		}
+		_ = od
+		// Base results unchanged.
+		for _, n := range nodes {
+			for _, ax := range extendedAxes {
+				after := d.Eval(ax, n)
+				before := snap[key{n, ax}]
+				if len(after) != len(before) {
+					return false
+				}
+				for i := range after {
+					if after[i] != before[i] {
+						return false
+					}
+				}
+			}
+		}
+		// Overlay agrees with its own reference implementation too.
+		for _, n := range allNodesOf(od) {
+			for _, ax := range extendedAxes {
+				fast := od.Eval(ax, n)
+				ref := od.EvalRef(ax, n)
+				if len(fast) != len(ref) {
+					t.Logf("seed %d: overlay %s mismatch", seed, ax)
+					return false
+				}
+				for i := range fast {
+					if fast[i] != ref[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeneratedCorpusAxesAgree runs the fast-vs-reference check on one
+// realistic generated manuscript (all four hierarchy shapes).
+func TestGeneratedCorpusAxesAgree(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 7, Words: 40})
+	d, err := c.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := allNodesOf(d)
+	for _, n := range nodes[:min(len(nodes), 150)] {
+		for _, ax := range extendedAxes {
+			fast := d.Eval(ax, n)
+			ref := d.EvalRef(ax, n)
+			if len(fast) != len(ref) {
+				t.Fatalf("%s(%s): fast %d vs ref %d", ax, n.Kind, len(fast), len(ref))
+			}
+			for i := range fast {
+				if fast[i] != ref[i] {
+					t.Fatalf("%s: order mismatch", ax)
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

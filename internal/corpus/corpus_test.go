@@ -1,0 +1,175 @@
+package corpus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mhxquery/internal/dom"
+	"mhxquery/internal/xmlparse"
+)
+
+func TestBoethiusFixtureParses(t *testing.T) {
+	trees, err := BoethiusTrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 4 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	for _, tr := range trees {
+		if got := tr.Root.TextContent(); got != BoethiusText {
+			t.Errorf("%s text = %q", tr.Name, got)
+		}
+	}
+}
+
+func TestBoethiusDocument(t *testing.T) {
+	d, err := BoethiusDocument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Text != BoethiusText {
+		t.Errorf("text = %q", d.Text)
+	}
+	if len(d.Leaves) != 16 {
+		t.Errorf("leaves = %d, want 16", len(d.Leaves))
+	}
+	if got := d.HierarchyNames(); !reflect.DeepEqual(got, BoethiusHierarchies()) {
+		t.Errorf("hierarchies = %v", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Params{Seed: 5, Words: 50})
+	b := Generate(Params{Seed: 5, Words: 50})
+	if a.Text != b.Text {
+		t.Error("same seed produced different texts")
+	}
+	for name := range a.XML {
+		if a.XML[name] != b.XML[name] {
+			t.Errorf("same seed produced different %s encodings", name)
+		}
+	}
+	c := Generate(Params{Seed: 6, Words: 50})
+	if a.Text == c.Text {
+		t.Error("different seeds produced identical text")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	c := Generate(Params{Seed: 1})
+	if len(c.Truth.WordSpans) != 200 {
+		t.Errorf("default words = %d", len(c.Truth.WordSpans))
+	}
+}
+
+func TestGeneratedCorpusBuilds(t *testing.T) {
+	c := Generate(Params{Seed: 11, Words: 80, DamageRate: 0.3, RestoreRate: 0.3})
+	d, err := c.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Text != c.Text {
+		t.Error("document text differs from corpus text")
+	}
+	// Words in the document match the generator's spans.
+	h := d.HierarchyByName("structure")
+	var spans []Span
+	for _, n := range h.Nodes {
+		if n.Kind == dom.Element && n.Name == "w" {
+			spans = append(spans, Span{n.Start, n.End})
+		}
+	}
+	if !reflect.DeepEqual(spans, c.Truth.WordSpans) {
+		t.Error("parsed word spans differ from truth")
+	}
+}
+
+func TestQuickGeneratedAlignment(t *testing.T) {
+	f := func(seed uint64, wordsRaw uint8) bool {
+		words := int(wordsRaw%120) + 5
+		c := Generate(Params{Seed: seed, Words: words, DamageRate: 0.25, RestoreRate: 0.25})
+		// Every encoding parses and encodes the same text.
+		for name, xml := range c.XML {
+			root, err := xmlparse.Parse(xml, xmlparse.Options{})
+			if err != nil {
+				t.Logf("seed %d: %s: %v", seed, name, err)
+				return false
+			}
+			if root.TextContent() != c.Text {
+				t.Logf("seed %d: %s text mismatch", seed, name)
+				return false
+			}
+		}
+		// Truth invariants.
+		if len(c.Truth.LineSpans) == 0 || c.Truth.LineSpans[0].Start != 0 {
+			return false
+		}
+		last := 0
+		for _, l := range c.Truth.LineSpans {
+			if l.Start != last || l.End <= l.Start {
+				return false
+			}
+			last = l.End
+		}
+		if last != len(c.Text) {
+			return false
+		}
+		for i := 1; i < len(c.Truth.DamageSpans); i++ {
+			if c.Truth.DamageSpans[i-1].End > c.Truth.DamageSpans[i].Start {
+				t.Logf("seed %d: overlapping damage spans", seed)
+				return false
+			}
+		}
+		// DamagedWords really intersect damage.
+		for _, wi := range c.Truth.DamagedWords {
+			w := c.Truth.WordSpans[wi]
+			ok := false
+			for _, d := range c.Truth.DamageSpans {
+				if w.Start < d.End && d.Start < w.End {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitWordsTruth(t *testing.T) {
+	c := Generate(Params{Seed: 3, Words: 100})
+	found := false
+	for _, wi := range c.Truth.SplitWords {
+		w := c.Truth.WordSpans[wi]
+		crosses := false
+		for _, l := range c.Truth.LineSpans {
+			if l.Start > w.Start && l.Start < w.End {
+				crosses = true
+			}
+		}
+		if !crosses {
+			t.Errorf("word %d marked split but no line boundary inside", wi)
+		}
+		found = true
+	}
+	if !found {
+		t.Skip("no split words at this seed (unlikely)")
+	}
+}
+
+func TestGeneratedXMLEscaping(t *testing.T) {
+	// The vocabulary is safe, but escape() must still handle specials.
+	if escape("a&b<c") != "a&amp;b&lt;c" {
+		t.Error("escape broken")
+	}
+	if strings.Contains(Generate(Params{Seed: 1, Words: 10}).XML["physical"], "&amp;") {
+		t.Log("vocabulary unexpectedly contains ampersands (harmless)")
+	}
+}

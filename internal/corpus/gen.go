@@ -1,0 +1,312 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode/utf8"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/xmlparse"
+)
+
+// Params configures the synthetic manuscript generator. The generator
+// produces the same four-hierarchy shape as the Boethius fixture —
+// physical lines that cut across words, verse lines grouping words,
+// editorial restoration spans and damage spans that respect no markup
+// boundary — at arbitrary scale, with ground truth for checking query
+// answers.
+type Params struct {
+	// Seed drives the deterministic generator; equal Params generate
+	// equal corpora.
+	Seed uint64
+	// Words is the number of words in the base text.
+	Words int
+	// LineChars is the target length of a physical line in bytes
+	// (default 28). Lines may split words, as in the manuscript.
+	LineChars int
+	// VerseWords is the number of words per verse line (default 5).
+	VerseWords int
+	// DamageRate is the per-word probability that a damage span starts
+	// inside the word (default 0.08). Spans may extend into following
+	// words, producing partial damage and markup overlap.
+	DamageRate float64
+	// RestoreRate is the per-word probability that a restoration span
+	// starts inside the word (default 0.10).
+	RestoreRate float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Words <= 0 {
+		p.Words = 200
+	}
+	if p.LineChars <= 0 {
+		p.LineChars = 28
+	}
+	if p.VerseWords <= 0 {
+		p.VerseWords = 5
+	}
+	if p.DamageRate == 0 {
+		p.DamageRate = 0.08
+	}
+	if p.RestoreRate == 0 {
+		p.RestoreRate = 0.10
+	}
+	return p
+}
+
+// Span is a half-open byte interval of the base text.
+type Span struct{ Start, End int }
+
+// Truth records ground-truth facts about a generated corpus, so tests can
+// check query answers instead of eyeballing them.
+type Truth struct {
+	WordSpans    []Span
+	VerseSpans   []Span
+	LineSpans    []Span
+	DamageSpans  []Span
+	RestoreSpans []Span
+	// DamagedWords lists indices into WordSpans of words intersecting at
+	// least one damage span.
+	DamagedWords []int
+	// SplitWords lists indices of words crossing a physical line break.
+	SplitWords []int
+}
+
+// Corpus is a generated synthetic manuscript.
+type Corpus struct {
+	Params Params
+	Text   string
+	// XML holds the four encodings keyed by hierarchy name (physical,
+	// structure, restoration, damage).
+	XML   map[string]string
+	Truth Truth
+}
+
+// vocabulary of Old-English-flavoured words; the multi-byte runes (þ, æ,
+// ð) deliberately exercise UTF-8 offset handling.
+var vocab = []string{
+	"se", "ond", "þa", "wæs", "mid", "ofer", "under", "cyning", "folc",
+	"gesceaftum", "unawendendne", "singallice", "sibbe", "gecynde",
+	"heofon", "eorðe", "wisdom", "weorc", "gewitt", "sawol", "lichoma",
+	"freond", "feond", "dryhten", "rice", "gold", "seolfor", "treow",
+	"wyrd", "willa", "andgit", "gemynd", "soðfæstnes", "leoht", "þeostru",
+	"steorra", "sunne", "mona", "flod", "stream", "stan", "beorg", "dene",
+	"holt", "feld", "hus", "heall", "duru", "weall", "boc",
+}
+
+// rng is a SplitMix64 generator: tiny, deterministic, stdlib-free.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// Generate builds a synthetic corpus for the given parameters.
+func Generate(p Params) *Corpus {
+	p = p.withDefaults()
+	r := &rng{state: p.Seed ^ 0xABCD_EF01_2345_6789}
+
+	words := make([]string, p.Words)
+	for i := range words {
+		words[i] = vocab[r.intn(len(vocab))]
+	}
+	text := strings.Join(words, " ")
+
+	var truth Truth
+	pos := 0
+	for i, w := range words {
+		truth.WordSpans = append(truth.WordSpans, Span{pos, pos + len(w)})
+		pos += len(w)
+		if i != len(words)-1 {
+			pos++ // inter-word space
+		}
+	}
+
+	// Verse lines: groups of VerseWords words, covering the inner spaces
+	// and the trailing space up to the next verse (matching the fixture).
+	for i := 0; i < len(words); i += p.VerseWords {
+		j := i + p.VerseWords - 1
+		if j >= len(words) {
+			j = len(words) - 1
+		}
+		end := truth.WordSpans[j].End
+		if j != len(words)-1 {
+			end++ // trailing space inside the verse
+		}
+		truth.VerseSpans = append(truth.VerseSpans, Span{truth.WordSpans[i].Start, end})
+	}
+
+	// Physical lines: cut about every LineChars bytes, at rune boundaries,
+	// ignoring word boundaries entirely.
+	cut := 0
+	for cut < len(text) {
+		next := cut + p.LineChars - 2 + r.intn(5)
+		if next >= len(text) {
+			next = len(text)
+		} else {
+			for next > cut && !utf8.RuneStart(text[next]) {
+				next--
+			}
+			if next == cut {
+				next = len(text)
+			}
+		}
+		truth.LineSpans = append(truth.LineSpans, Span{cut, next})
+		cut = next
+	}
+
+	truth.DamageSpans = randomSpans(r, text, truth.WordSpans, p.DamageRate)
+	truth.RestoreSpans = randomSpans(r, text, truth.WordSpans, p.RestoreRate)
+
+	for i, w := range truth.WordSpans {
+		for _, d := range truth.DamageSpans {
+			if w.Start < d.End && d.Start < w.End {
+				truth.DamagedWords = append(truth.DamagedWords, i)
+				break
+			}
+		}
+		for _, l := range truth.LineSpans {
+			if l.Start > w.Start && l.Start < w.End {
+				truth.SplitWords = append(truth.SplitWords, i)
+				break
+			}
+		}
+	}
+
+	c := &Corpus{Params: p, Text: text, Truth: truth}
+	c.XML = map[string]string{
+		"physical":    tileDoc(text, truth.LineSpans, "line"),
+		"structure":   verseDoc(text, truth, p),
+		"restoration": spanDoc(text, truth.RestoreSpans, "res"),
+		"damage":      spanDoc(text, truth.DamageSpans, "dmg"),
+	}
+	return c
+}
+
+// randomSpans drops non-overlapping spans over the text: with probability
+// rate a span starts at a random offset inside a word and extends a random
+// 1–9 bytes (clamped, rune-aligned, merged when they would collide).
+func randomSpans(r *rng, text string, words []Span, rate float64) []Span {
+	var spans []Span
+	for _, w := range words {
+		if r.float() >= rate {
+			continue
+		}
+		start := w.Start + r.intn(w.End-w.Start)
+		for start > 0 && !utf8.RuneStart(text[start]) {
+			start--
+		}
+		end := start + 1 + r.intn(9)
+		if end > len(text) {
+			end = len(text)
+		}
+		for end < len(text) && !utf8.RuneStart(text[end]) {
+			end++
+		}
+		spans = append(spans, Span{start, end})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	var merged []Span
+	for _, s := range spans {
+		if n := len(merged); n > 0 && s.Start <= merged[n-1].End {
+			if s.End > merged[n-1].End {
+				merged[n-1].End = s.End
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged
+}
+
+// tileDoc encodes text fully tiled by one element kind (physical lines).
+func tileDoc(text string, spans []Span, tag string) string {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for _, s := range spans {
+		fmt.Fprintf(&b, "<%s>%s</%s>", tag, escape(text[s.Start:s.End]), tag)
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+// spanDoc encodes text with non-overlapping spans wrapped in tag and the
+// rest as plain text (restoration/damage shape).
+func spanDoc(text string, spans []Span, tag string) string {
+	var b strings.Builder
+	b.WriteString("<r>")
+	pos := 0
+	for _, s := range spans {
+		b.WriteString(escape(text[pos:s.Start]))
+		fmt.Fprintf(&b, "<%s>%s</%s>", tag, escape(text[s.Start:s.End]), tag)
+		pos = s.End
+	}
+	b.WriteString(escape(text[pos:]))
+	b.WriteString("</r>")
+	return b.String()
+}
+
+// verseDoc encodes verse lines containing word elements and inter-word
+// spaces (structure shape).
+func verseDoc(text string, truth Truth, p Params) string {
+	var b strings.Builder
+	b.WriteString("<r>")
+	wi := 0
+	for _, v := range truth.VerseSpans {
+		b.WriteString("<vline>")
+		pos := v.Start
+		for wi < len(truth.WordSpans) && truth.WordSpans[wi].End <= v.End {
+			w := truth.WordSpans[wi]
+			b.WriteString(escape(text[pos:w.Start]))
+			fmt.Fprintf(&b, "<w>%s</w>", escape(text[w.Start:w.End]))
+			pos = w.End
+			wi++
+		}
+		b.WriteString(escape(text[pos:v.End]))
+		b.WriteString("</vline>")
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return s
+}
+
+// Trees parses the four encodings of the corpus.
+func (c *Corpus) Trees() ([]core.NamedTree, error) {
+	var trees []core.NamedTree
+	for _, name := range BoethiusHierarchies() {
+		root, err := xmlparse.Parse(c.XML[name], xmlparse.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("corpus: generated %s: %w", name, err)
+		}
+		trees = append(trees, core.NamedTree{Name: name, Root: root})
+	}
+	return trees, nil
+}
+
+// Document builds the KyGODDAG of the corpus.
+func (c *Corpus) Document() (*core.Document, error) {
+	trees, err := c.Trees()
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(trees)
+}

@@ -1,0 +1,267 @@
+// Package dom implements the node model shared by single-hierarchy XML
+// trees, the KyGODDAG multihierarchical structure (package core) and the
+// result trees built by XQuery element constructors.
+//
+// A Node is deliberately a plain struct rather than an interface: the
+// engine manipulates millions of nodes in benchmarks and the flat
+// representation keeps the per-node cost at one allocation. Fields that
+// only make sense for some kinds (for example LeafParents) are documented
+// per kind below.
+package dom
+
+import "strings"
+
+// Kind identifies the type of a Node.
+type Kind uint8
+
+// Node kinds. Leaf is specific to the KyGODDAG: it denotes one element of
+// the partition of the base text S induced by all markup boundaries.
+const (
+	Element Kind = iota
+	Text
+	Attribute
+	Comment
+	ProcInst
+	Leaf
+)
+
+// String returns the XPath-style name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Text:
+		return "text"
+	case Attribute:
+		return "attribute"
+	case Comment:
+		return "comment"
+	case ProcInst:
+		return "processing-instruction"
+	case Leaf:
+		return "leaf"
+	}
+	return "unknown"
+}
+
+// RootHier is the HierIndex of the shared KyGODDAG root: it precedes every
+// hierarchy in document order (Definition 3 of the paper).
+const RootHier = -1
+
+// LeafHier is the HierIndex assigned to leaf nodes. Definition 3 leaves
+// the placement of the leaf layer implementation-dependent; we order
+// leaves after all hierarchies.
+const LeafHier = 1 << 20
+
+// Node is a node of an XML tree or of a KyGODDAG.
+//
+// Field usage by kind:
+//
+//	Element   Name, Hier, HierIndex, Parent, Children, Attrs, Start, End, Ord, Last
+//	Text      Data, Hier, HierIndex, Parent, Start, End, Ord (leaf children
+//	          are not stored; they are computed against the active document)
+//	Attribute Name, Data; Parent is the owning element; Sub orders attributes
+//	Comment   Data (round-tripped by the parser, excluded from hierarchies)
+//	ProcInst  Name (target), Data
+//	Leaf      Data (the substring of S), Start, End, Ord (= leaf index),
+//	          LeafParents (covering text node per covering hierarchy)
+type Node struct {
+	Kind Kind
+
+	// Name is the element name, attribute name or PI target.
+	Name string
+	// Data is the text content (Text, Comment, Leaf), attribute value or
+	// PI body.
+	Data string
+
+	// Hier is the name of the markup hierarchy the node belongs to; it is
+	// "" for the shared root, for leaves and for constructed result trees.
+	Hier string
+	// HierIndex is the registration index of Hier in its document, RootHier
+	// for the shared root and LeafHier for leaves. Constructed result
+	// trees use 0.
+	HierIndex int
+
+	Parent   *Node
+	Children []*Node
+	Attrs    []*Node
+
+	// Start and End delimit the node's span of the base text S in bytes
+	// (half open). For an empty element both equal the text position of
+	// the tag. Result trees built by constructors carry zero spans.
+	Start, End int
+
+	// Ord is the preorder position of the node within its hierarchy
+	// (hier.Nodes[Ord] == node), or the leaf index for leaves.
+	Ord int
+	// Last is the Ord of the last node in this node's subtree; the
+	// subtree occupies hier.Nodes[Ord..Last].
+	Last int
+	// Sub breaks Ord ties: 0 for the element itself, i+1 for its i-th
+	// attribute.
+	Sub int
+
+	// LeafParents holds, for a Leaf, the text node that contains it in
+	// each hierarchy that covers the leaf's span, in hierarchy order.
+	LeafParents []*Node
+}
+
+// NewElement returns an element node with the given name.
+func NewElement(name string) *Node { return &Node{Kind: Element, Name: name} }
+
+// NewText returns a text node with the given content.
+func NewText(data string) *Node { return &Node{Kind: Text, Data: data} }
+
+// AppendChild appends c to n's children and sets c's parent.
+func (n *Node) AppendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// SetAttr sets (or replaces) the attribute name=value on element n.
+func (n *Node) SetAttr(name, value string) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			a.Data = value
+			return
+		}
+	}
+	a := &Node{Kind: Attribute, Name: name, Data: value, Parent: n, Sub: len(n.Attrs) + 1}
+	a.Hier, a.HierIndex = n.Hier, n.HierIndex
+	a.Ord = n.Ord
+	n.Attrs = append(n.Attrs, a)
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Data, true
+		}
+	}
+	return "", false
+}
+
+// AttrNode returns the named attribute node, or nil.
+func (n *Node) AttrNode(name string) *Node {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// TextContent returns the string value of the node: its own text for
+// Text/Attribute/Comment/ProcInst/Leaf nodes, and the concatenation of all
+// descendant text for elements. For KyGODDAG nodes this equals
+// S[n.Start:n.End].
+func (n *Node) TextContent() string {
+	switch n.Kind {
+	case Text, Attribute, Comment, ProcInst, Leaf:
+		return n.Data
+	}
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	for _, c := range n.Children {
+		switch c.Kind {
+		case Text, Leaf:
+			b.WriteString(c.Data)
+		case Element:
+			c.appendText(b)
+		}
+	}
+}
+
+// IsWhitespace reports whether a text node consists only of XML whitespace.
+func (n *Node) IsWhitespace() bool {
+	for i := 0; i < len(n.Data); i++ {
+		switch n.Data[i] {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the node into a fresh, hierarchy-less tree suitable for
+// use in constructed query results. KyGODDAG bookkeeping (spans, orders,
+// leaf links) is dropped; Leaf nodes become Text nodes so that copies of
+// multihierarchical content are ordinary XML.
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	if n.Kind == Leaf {
+		c.Kind = Text
+	}
+	for _, a := range n.Attrs {
+		c.SetAttr(a.Name, a.Data)
+	}
+	for _, ch := range n.Children {
+		c.AppendChild(ch.Clone())
+	}
+	return c
+}
+
+// Root walks parent links to the topmost node.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of m following parent
+// links (single-hierarchy containment; leaves are handled by package core).
+func (n *Node) IsAncestorOf(m *Node) bool {
+	for p := m.Parent; p != nil; p = p.Parent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Walk calls fn for n and every descendant reachable through Children, in
+// preorder. Attributes are not visited.
+func Walk(n *Node, fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		Walk(c, fn)
+	}
+}
+
+// Compare orders two KyGODDAG nodes per Definition 3 of the paper: the
+// shared root first; nodes of the same hierarchy in DOM (preorder) order;
+// nodes of different hierarchies in hierarchy registration order; the leaf
+// layer after all hierarchies, by leaf index. Attributes sort immediately
+// after their owner element and before its children, in attribute order.
+// The result is negative, zero or positive in the manner of strings.Compare.
+func Compare(a, b *Node) int {
+	if a == b {
+		return 0
+	}
+	if a.HierIndex != b.HierIndex {
+		if a.HierIndex < b.HierIndex {
+			return -1
+		}
+		return 1
+	}
+	if a.Ord != b.Ord {
+		if a.Ord < b.Ord {
+			return -1
+		}
+		return 1
+	}
+	if a.Sub != b.Sub {
+		if a.Sub < b.Sub {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}

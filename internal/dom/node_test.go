@@ -1,0 +1,243 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Element:   "element",
+		Text:      "text",
+		Attribute: "attribute",
+		Comment:   "comment",
+		ProcInst:  "processing-instruction",
+		Leaf:      "leaf",
+		Kind(99):  "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAppendChildAndParent(t *testing.T) {
+	p := NewElement("p")
+	c := NewText("hello")
+	p.AppendChild(c)
+	if c.Parent != p {
+		t.Fatal("AppendChild did not set parent")
+	}
+	if len(p.Children) != 1 || p.Children[0] != c {
+		t.Fatal("AppendChild did not append")
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	e := NewElement("e")
+	e.SetAttr("a", "1")
+	e.SetAttr("b", "2")
+	e.SetAttr("a", "3") // replace
+	if v, ok := e.Attr("a"); !ok || v != "3" {
+		t.Errorf("Attr(a) = %q, %v", v, ok)
+	}
+	if v, ok := e.Attr("b"); !ok || v != "2" {
+		t.Errorf("Attr(b) = %q, %v", v, ok)
+	}
+	if _, ok := e.Attr("missing"); ok {
+		t.Error("Attr(missing) reported present")
+	}
+	if len(e.Attrs) != 2 {
+		t.Errorf("len(Attrs) = %d, want 2", len(e.Attrs))
+	}
+	if a := e.AttrNode("b"); a == nil || a.Kind != Attribute || a.Parent != e {
+		t.Error("AttrNode(b) malformed")
+	}
+	if a := e.AttrNode("zz"); a != nil {
+		t.Error("AttrNode(zz) should be nil")
+	}
+	// Attribute order keys.
+	if e.Attrs[0].Sub != 1 || e.Attrs[1].Sub != 2 {
+		t.Errorf("attribute Sub keys = %d,%d", e.Attrs[0].Sub, e.Attrs[1].Sub)
+	}
+}
+
+func buildSmallTree() *Node {
+	// <a>one<b attr="x">two</b><c/>three</a>
+	a := NewElement("a")
+	a.AppendChild(NewText("one"))
+	b := NewElement("b")
+	b.SetAttr("attr", "x")
+	b.AppendChild(NewText("two"))
+	a.AppendChild(b)
+	a.AppendChild(NewElement("c"))
+	a.AppendChild(NewText("three"))
+	return a
+}
+
+func TestTextContent(t *testing.T) {
+	a := buildSmallTree()
+	if got := a.TextContent(); got != "onetwothree" {
+		t.Errorf("TextContent = %q", got)
+	}
+	if got := a.Children[1].TextContent(); got != "two" {
+		t.Errorf("TextContent(b) = %q", got)
+	}
+	leaf := &Node{Kind: Leaf, Data: "xyz"}
+	if leaf.TextContent() != "xyz" {
+		t.Error("leaf TextContent")
+	}
+}
+
+func TestIsWhitespace(t *testing.T) {
+	if !NewText(" \t\r\n").IsWhitespace() {
+		t.Error("whitespace text not detected")
+	}
+	if NewText(" x ").IsWhitespace() {
+		t.Error("non-whitespace text mis-detected")
+	}
+	if !NewText("").IsWhitespace() {
+		t.Error("empty text should count as whitespace")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := buildSmallTree()
+	c := a.Clone()
+	if XML(a) != XML(c) {
+		t.Errorf("clone differs: %s vs %s", XML(a), XML(c))
+	}
+	// Mutating the clone must not affect the original.
+	c.Children[0].Data = "ONE"
+	if a.Children[0].Data != "one" {
+		t.Error("clone shares text node with original")
+	}
+	// Leaves clone into text nodes.
+	l := &Node{Kind: Leaf, Data: "seg"}
+	lc := l.Clone()
+	if lc.Kind != Text || lc.Data != "seg" {
+		t.Errorf("leaf clone = %v %q", lc.Kind, lc.Data)
+	}
+}
+
+func TestRootAndAncestor(t *testing.T) {
+	a := buildSmallTree()
+	b := a.Children[1]
+	two := b.Children[0]
+	if two.Root() != a {
+		t.Error("Root() wrong")
+	}
+	if !a.IsAncestorOf(two) || !b.IsAncestorOf(two) {
+		t.Error("IsAncestorOf false negative")
+	}
+	if two.IsAncestorOf(a) || a.IsAncestorOf(a) {
+		t.Error("IsAncestorOf false positive")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	a := buildSmallTree()
+	var names []string
+	Walk(a, func(n *Node) {
+		if n.Kind == Element {
+			names = append(names, n.Name)
+		} else {
+			names = append(names, "#"+n.Data)
+		}
+	})
+	want := "a,#one,b,#two,c,#three"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("Walk order = %s, want %s", got, want)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	root := &Node{Kind: Element, Name: "r", HierIndex: RootHier}
+	h0a := &Node{Kind: Element, HierIndex: 0, Ord: 0}
+	h0b := &Node{Kind: Element, HierIndex: 0, Ord: 5}
+	h1 := &Node{Kind: Element, HierIndex: 1, Ord: 0}
+	leaf := &Node{Kind: Leaf, HierIndex: LeafHier, Ord: 0}
+	ordered := []*Node{root, h0a, h0b, h1, leaf}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	// Attributes sort after their element (same Ord, Sub > 0).
+	el := &Node{Kind: Element, HierIndex: 0, Ord: 3}
+	el.SetAttr("x", "1")
+	if Compare(el, el.Attrs[0]) >= 0 {
+		t.Error("element should precede its attribute")
+	}
+	if Compare(el.Attrs[0], h0b) >= 0 {
+		t.Error("attribute of earlier element should precede later element")
+	}
+}
+
+func TestSerializeXML(t *testing.T) {
+	a := buildSmallTree()
+	want := `<a>one<b attr="x">two</b><c/>three</a>`
+	if got := XML(a); got != want {
+		t.Errorf("XML = %s, want %s", got, want)
+	}
+	if got := XMLChildren(a); got != `one<b attr="x">two</b><c/>three` {
+		t.Errorf("XMLChildren = %s", got)
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	e := NewElement("e")
+	e.SetAttr("q", `a"b<c>&`)
+	e.AppendChild(NewText(`x < y & z > w`))
+	got := XML(e)
+	want := `<e q="a&quot;b&lt;c&gt;&amp;">x &lt; y &amp; z &gt; w</e>`
+	if got != want {
+		t.Errorf("escaped XML = %s, want %s", got, want)
+	}
+}
+
+func TestSerializeCommentPI(t *testing.T) {
+	e := NewElement("e")
+	e.AppendChild(&Node{Kind: Comment, Data: " note "})
+	e.AppendChild(&Node{Kind: ProcInst, Name: "target", Data: "body"})
+	got := XML(e)
+	want := `<e><!-- note --><?target body?></e>`
+	if got != want {
+		t.Errorf("XML = %s, want %s", got, want)
+	}
+}
+
+func TestSerializeIndent(t *testing.T) {
+	a := NewElement("a")
+	b := NewElement("b")
+	b.AppendChild(NewText("x"))
+	a.AppendChild(b)
+	a.AppendChild(NewElement("c"))
+	got := XMLIndent(a, "  ")
+	want := "<a>\n  <b>x</b>\n  <c/>\n</a>"
+	if got != want {
+		t.Errorf("XMLIndent = %q, want %q", got, want)
+	}
+}
+
+func TestEscapeHelpers(t *testing.T) {
+	if EscapeText("plain") != "plain" {
+		t.Error("EscapeText should pass plain text through")
+	}
+	if EscapeAttr("plain") != "plain" {
+		t.Error("EscapeAttr should pass plain text through")
+	}
+	if EscapeAttr("a\tb\nc") != "a&#9;b&#10;c" {
+		t.Errorf("EscapeAttr whitespace = %q", EscapeAttr("a\tb\nc"))
+	}
+}

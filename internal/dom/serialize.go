@@ -1,0 +1,157 @@
+package dom
+
+import "strings"
+
+// SerializeOptions controls XML/HTML serialization.
+type SerializeOptions struct {
+	// Indent, when non-empty, pretty-prints with the given unit (result
+	// trees only; document-centric serialization must stay byte exact).
+	Indent string
+	// OmitAttributes drops attributes (used by some diagnostics).
+	OmitAttributes bool
+}
+
+// XML serializes the subtree rooted at n to an XML string. Empty elements
+// are self-closed (<br/>), matching the output style used by the paper.
+func XML(n *Node) string {
+	var b strings.Builder
+	writeNode(&b, n, SerializeOptions{}, 0)
+	return b.String()
+}
+
+// XMLIndent serializes with pretty-printing.
+func XMLIndent(n *Node, indent string) string {
+	var b strings.Builder
+	writeNode(&b, n, SerializeOptions{Indent: indent}, 0)
+	return b.String()
+}
+
+// XMLChildren serializes the children of n (the "inner XML").
+func XMLChildren(n *Node) string {
+	var b strings.Builder
+	for _, c := range n.Children {
+		writeNode(&b, c, SerializeOptions{}, 0)
+	}
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node, o SerializeOptions, depth int) {
+	switch n.Kind {
+	case Text, Leaf:
+		b.WriteString(EscapeText(n.Data))
+		return
+	case Comment:
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+		return
+	case ProcInst:
+		b.WriteString("<?")
+		b.WriteString(n.Name)
+		if n.Data != "" {
+			b.WriteByte(' ')
+			b.WriteString(n.Data)
+		}
+		b.WriteString("?>")
+		return
+	case Attribute:
+		b.WriteString(n.Name)
+		b.WriteString(`="`)
+		b.WriteString(EscapeAttr(n.Data))
+		b.WriteByte('"')
+		return
+	}
+	indent := func(d int) {
+		if o.Indent != "" {
+			if b.Len() > 0 {
+				b.WriteByte('\n')
+			}
+			for i := 0; i < d; i++ {
+				b.WriteString(o.Indent)
+			}
+		}
+	}
+	indent(depth)
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	if !o.OmitAttributes {
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			writeNode(b, a, o, depth)
+		}
+	}
+	if len(n.Children) == 0 {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	onlyElems := o.Indent != ""
+	for _, c := range n.Children {
+		if c.Kind != Element {
+			onlyElems = false
+		}
+	}
+	for _, c := range n.Children {
+		if onlyElems {
+			writeNode(b, c, o, depth+1)
+		} else {
+			writeNode(b, c, SerializeOptions{OmitAttributes: o.OmitAttributes}, 0)
+		}
+	}
+	if onlyElems {
+		indent(depth)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteByte('>')
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr escapes character data for a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, "&<>\"\n\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\n':
+			b.WriteString("&#10;")
+		case '\t':
+			b.WriteString("&#9;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

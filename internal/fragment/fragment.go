@@ -1,0 +1,278 @@
+// Package fragment implements the baselines the paper compares against by
+// citation ([6], "Searching Multi-Hierarchical XML Documents: the Case of
+// Fragmentation"): representing a multihierarchical document as a SINGLE
+// well-formed XML tree using the classic serialization "hacks":
+//
+//   - Fragmentation: when an element of one hierarchy would cross a
+//     boundary of an element already open, it is split into fragments
+//     carrying part="I|M|F", id and next attributes (TEI-style chains).
+//   - Milestones: one hierarchy keeps its tree shape; every other
+//     element is flattened into empty <name-start id/>/<name-end ref/>
+//     marker pairs.
+//
+// The package also implements the query side of the comparison: answering
+// the paper's "damaged words" workload over these encodings requires
+// reassembling fragment chains (or pairing milestones) and re-deriving
+// intervals — the "steep price at query processing time" the paper
+// refers to. Benchmarks in the repository root quantify it against the
+// native KyGODDAG axes.
+package fragment
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/dom"
+)
+
+// open tracks one currently-open fragment during the sweep.
+type open struct {
+	src   *dom.Node
+	el    *dom.Node
+	chain int // chain id (stable across fragments of one source element)
+	fragN int // 1-based fragment ordinal
+}
+
+// Fragment flattens the document into a single well-formed tree. Elements
+// are opened longest-span-first at each boundary; an element that must
+// close while others opened after it are still open forces those to be
+// split: the enclosing fragment is closed (part="I" or "M", id, next) and
+// reopened after it (part="M" or, at its true end, "F"). Elements never
+// split keep their original attributes only.
+func Fragment(d *core.Document) *dom.Node {
+	root := dom.NewElement(d.Root.Name)
+	for _, a := range d.Root.Attrs {
+		root.SetAttr(a.Name, a.Data)
+	}
+
+	starts := make(map[int][]*dom.Node)
+	for _, h := range d.Hiers {
+		for _, n := range h.Nodes {
+			if n.Kind == dom.Element {
+				starts[n.Start] = append(starts[n.Start], n)
+			}
+		}
+	}
+	depth := func(n *dom.Node) int {
+		dep := 0
+		for p := n.Parent; p != nil; p = p.Parent {
+			dep++
+		}
+		return dep
+	}
+
+	var stack []*open
+	top := func() *dom.Node {
+		if len(stack) == 0 {
+			return root
+		}
+		return stack[len(stack)-1].el
+	}
+	addText := func(s string) {
+		t := top()
+		if k := len(t.Children); k > 0 && t.Children[k-1].Kind == dom.Text {
+			t.Children[k-1].Data += s
+			return
+		}
+		t.AppendChild(dom.NewText(s))
+	}
+
+	nextChain := 0
+	newFragment := func(src *dom.Node, chain, fragN int) *open {
+		el := dom.NewElement(src.Name)
+		for _, a := range src.Attrs {
+			el.SetAttr(a.Name, a.Data)
+		}
+		o := &open{src: src, el: el, chain: chain, fragN: fragN}
+		top().AppendChild(el)
+		stack = append(stack, o)
+		return o
+	}
+	// interrupt closes o mid-element: it becomes a non-final fragment.
+	interrupt := func(o *open) {
+		if o.fragN == 1 {
+			o.el.SetAttr("part", "I")
+		} else {
+			o.el.SetAttr("part", "M")
+		}
+		o.el.SetAttr("id", fragID(o.chain, o.fragN))
+		o.el.SetAttr("next", fragID(o.chain, o.fragN+1))
+	}
+	finish := func(o *open) {
+		if o.fragN > 1 {
+			o.el.SetAttr("part", "F")
+			o.el.SetAttr("id", fragID(o.chain, o.fragN))
+		}
+	}
+
+	for bi, p := range d.Bounds {
+		// Close every element ending at p, splitting whatever sits above
+		// it on the stack.
+		for {
+			idx := -1
+			for i, o := range stack {
+				if o.src.End == p {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				break
+			}
+			var reopen []*open
+			for len(stack) > idx {
+				o := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if o.src.End == p {
+					finish(o)
+					continue
+				}
+				interrupt(o)
+				reopen = append(reopen, o)
+			}
+			// Reopen interrupted elements outermost-first (they were
+			// popped innermost-first).
+			for i := len(reopen) - 1; i >= 0; i-- {
+				o := reopen[i]
+				if o.chain == 0 {
+					nextChain++
+					o.chain = nextChain
+					// Patch the id/next attributes now that the chain exists.
+					o.el.SetAttr("id", fragID(o.chain, o.fragN))
+					o.el.SetAttr("next", fragID(o.chain, o.fragN+1))
+				}
+				newFragment(o.src, o.chain, o.fragN+1)
+			}
+		}
+		// Open elements starting at p, longest span first so that
+		// containers nest naturally.
+		sts := starts[p]
+		sort.SliceStable(sts, func(i, j int) bool {
+			if sts[i].End != sts[j].End {
+				return sts[i].End > sts[j].End
+			}
+			if sts[i].HierIndex != sts[j].HierIndex {
+				return sts[i].HierIndex < sts[j].HierIndex
+			}
+			return depth(sts[i]) < depth(sts[j])
+		})
+		for _, src := range sts {
+			newFragment(src, 0, 1)
+		}
+		if bi+1 < len(d.Bounds) {
+			addText(d.Text[p:d.Bounds[bi+1]])
+		}
+	}
+	// Chains created above share a counter but fragments may still carry
+	// chain==0 when never split: their id/next were never set, as wanted.
+	return root
+}
+
+func fragID(chain, fragN int) string {
+	return "c" + strconv.Itoa(chain) + "." + strconv.Itoa(fragN)
+}
+
+// Milestone flattens the document keeping the primary hierarchy as a real
+// tree; every element of the other hierarchies becomes an empty
+// <name-start id="k"/> / <name-end ref="k"/> marker pair at its boundary
+// positions.
+func Milestone(d *core.Document, primary string) (*dom.Node, error) {
+	ph := d.HierarchyByName(primary)
+	if ph == nil {
+		return nil, fmt.Errorf("fragment: unknown primary hierarchy %q", primary)
+	}
+	root := dom.NewElement(d.Root.Name)
+	for _, a := range d.Root.Attrs {
+		root.SetAttr(a.Name, a.Data)
+	}
+
+	type marker struct {
+		name  string
+		id    int
+		start bool
+		attrs []*dom.Node
+	}
+	markers := make(map[int][]marker)
+	id := 0
+	for _, h := range d.Hiers {
+		if h == ph {
+			continue
+		}
+		for _, n := range h.Nodes {
+			if n.Kind != dom.Element {
+				continue
+			}
+			id++
+			markers[n.Start] = append(markers[n.Start], marker{name: n.Name, id: id, start: true, attrs: n.Attrs})
+			markers[n.End] = append([]marker{{name: n.Name, id: id}}, markers[n.End]...)
+		}
+	}
+	starts := make(map[int][]*dom.Node)
+	for _, n := range ph.Nodes {
+		if n.Kind == dom.Element {
+			starts[n.Start] = append(starts[n.Start], n)
+		}
+	}
+
+	var stack []*dom.Node
+	srcOf := make(map[*dom.Node]*dom.Node)
+	top := func() *dom.Node {
+		if len(stack) == 0 {
+			return root
+		}
+		return stack[len(stack)-1]
+	}
+	addText := func(s string) {
+		t := top()
+		if k := len(t.Children); k > 0 && t.Children[k-1].Kind == dom.Text {
+			t.Children[k-1].Data += s
+			return
+		}
+		t.AppendChild(dom.NewText(s))
+	}
+
+	for bi, p := range d.Bounds {
+		// Close primary elements ending here (they nest properly).
+		for len(stack) > 0 && srcOf[stack[len(stack)-1]].End == p {
+			stack = stack[:len(stack)-1]
+		}
+		// End markers come before start markers at the same position.
+		for _, m := range markers[p] {
+			if m.start {
+				continue
+			}
+			el := dom.NewElement(m.name + "-end")
+			el.SetAttr("ref", "m"+strconv.Itoa(m.id))
+			top().AppendChild(el)
+		}
+		// Open primary elements, longest first.
+		sts := starts[p]
+		sort.SliceStable(sts, func(i, j int) bool { return sts[i].End > sts[j].End })
+		for _, src := range sts {
+			el := dom.NewElement(src.Name)
+			for _, a := range src.Attrs {
+				el.SetAttr(a.Name, a.Data)
+			}
+			top().AppendChild(el)
+			srcOf[el] = src
+			stack = append(stack, el)
+		}
+		for _, m := range markers[p] {
+			if !m.start {
+				continue
+			}
+			el := dom.NewElement(m.name + "-start")
+			el.SetAttr("id", "m"+strconv.Itoa(m.id))
+			for _, a := range m.attrs {
+				el.SetAttr(a.Name, a.Data)
+			}
+			top().AppendChild(el)
+		}
+		if bi+1 < len(d.Bounds) {
+			addText(d.Text[p:d.Bounds[bi+1]])
+		}
+	}
+	return root, nil
+}

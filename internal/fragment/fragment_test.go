@@ -1,0 +1,248 @@
+package fragment
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/corpus"
+	"mhxquery/internal/dom"
+	"mhxquery/internal/xmlparse"
+)
+
+func TestFragmentBoethiusWellFormed(t *testing.T) {
+	d := corpus.MustBoethius()
+	flat := Fragment(d)
+	xml := dom.XML(flat)
+	// The flat encoding must be well-formed XML (it round-trips through
+	// the parser) and preserve the base text exactly.
+	re, err := xmlparse.Parse(xml, xmlparse.Options{})
+	if err != nil {
+		t.Fatalf("fragmented doc is not well-formed: %v\n%s", err, xml)
+	}
+	if re.TextContent() != d.Text {
+		t.Fatalf("fragmented text = %q", re.TextContent())
+	}
+	// The split word must appear as fragments with part attributes.
+	if !strings.Contains(xml, `part="I"`) || !strings.Contains(xml, `part="F"`) {
+		t.Errorf("expected fragment chains in %s", xml)
+	}
+}
+
+func TestFragmentReassembly(t *testing.T) {
+	d := corpus.MustBoethius()
+	flat := Fragment(d)
+	AnnotateOffsets(flat)
+	logical := ReassembleFragments(flat)
+	// All six words reassemble with their original spans.
+	words := logical["w"]
+	if len(words) != 6 {
+		t.Fatalf("reassembled %d words, want 6", len(words))
+	}
+	wantSpans := [][2]int{{0, 10}, {11, 23}, {24, 34}, {35, 40}, {41, 48}, {49, 52}}
+	for i, w := range words {
+		if w.Start != wantSpans[i][0] || w.End != wantSpans[i][1] {
+			t.Errorf("word %d span = [%d,%d), want %v", i, w.Start, w.End, wantSpans[i])
+		}
+	}
+	// singallice crosses the line boundary: it must have been split.
+	if words[2].Fragments < 2 {
+		t.Errorf("split word reassembled from %d fragments, want >= 2", words[2].Fragments)
+	}
+	// Damage spans survive.
+	dmg := logical["dmg"]
+	if len(dmg) != 2 || dmg[0].Start != 14 || dmg[0].End != 15 || dmg[1].Start != 46 || dmg[1].End != 52 {
+		t.Errorf("dmg spans = %+v", dmg)
+	}
+}
+
+func TestMilestoneBoethius(t *testing.T) {
+	d := corpus.MustBoethius()
+	flat, err := Milestone(d, "physical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml := dom.XML(flat)
+	re, err := xmlparse.Parse(xml, xmlparse.Options{})
+	if err != nil {
+		t.Fatalf("milestone doc not well-formed: %v\n%s", err, xml)
+	}
+	if re.TextContent() != d.Text {
+		t.Fatalf("milestone text = %q", re.TextContent())
+	}
+	AnnotateOffsets(flat)
+	logical := ReassembleMilestones(flat)
+	if len(logical["w"]) != 6 {
+		t.Errorf("milestone words = %d", len(logical["w"]))
+	}
+	if len(logical["line"]) != 2 {
+		t.Errorf("milestone lines (primary, real elements) = %d", len(logical["line"]))
+	}
+	if got := logical["w"][2]; got.Start != 24 || got.End != 34 {
+		t.Errorf("milestone singallice span = [%d,%d)", got.Start, got.End)
+	}
+	if _, err := Milestone(d, "nope"); err == nil {
+		t.Error("unknown primary accepted")
+	}
+}
+
+func TestDamagedWordsAllThreeAgree(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 42, Words: 120, DamageRate: 0.15})
+	d, err := c.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth from the generator.
+	want := c.Truth.DamagedWords
+
+	// Native KyGODDAG.
+	native := NativeDamagedWordIndices(d, "w", "dmg")
+	if !reflect.DeepEqual(native, want) {
+		t.Errorf("native damaged words = %v, want %v", native, want)
+	}
+
+	// Fragmentation baseline.
+	flat := Fragment(d)
+	AnnotateOffsets(flat)
+	lf := ReassembleFragments(flat)
+	fragged := DamagedWordIndices(lf["w"], lf["dmg"])
+	if !reflect.DeepEqual(fragged, want) {
+		t.Errorf("fragmentation damaged words = %v, want %v", fragged, want)
+	}
+
+	// Milestone baseline.
+	ms, err := Milestone(d, "physical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	AnnotateOffsets(ms)
+	lm := ReassembleMilestones(ms)
+	mstoned := DamagedWordIndices(lm["w"], lm["dmg"])
+	if !reflect.DeepEqual(mstoned, want) {
+		t.Errorf("milestone damaged words = %v, want %v", mstoned, want)
+	}
+}
+
+// TestQuickFragmentationRoundTrip: for random corpora, flattening and
+// reassembling recovers every logical element's exact span, and the flat
+// document stays well-formed with the same text.
+func TestQuickFragmentationRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := corpus.Generate(corpus.Params{Seed: seed, Words: 30, DamageRate: 0.2, RestoreRate: 0.2})
+		d, err := c.Document()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		flat := Fragment(d)
+		if re, err := xmlparse.Parse(dom.XML(flat), xmlparse.Options{}); err != nil || re.TextContent() != d.Text {
+			t.Logf("seed %d: flat doc broken: %v", seed, err)
+			return false
+		}
+		AnnotateOffsets(flat)
+		logical := ReassembleFragments(flat)
+		// Compare spans per element name against the original hierarchies.
+		want := map[string][][2]int{}
+		for _, h := range d.Hiers {
+			for _, n := range h.Nodes {
+				if n.Kind == dom.Element {
+					want[n.Name] = append(want[n.Name], [2]int{n.Start, n.End})
+				}
+			}
+		}
+		for name, spans := range want {
+			sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+			got := logical[name]
+			if len(got) != len(spans) {
+				t.Logf("seed %d: %s count %d vs %d", seed, name, len(got), len(spans))
+				return false
+			}
+			for i := range got {
+				if got[i].Start != spans[i][0] || got[i].End != spans[i][1] {
+					t.Logf("seed %d: %s[%d] = [%d,%d) want %v", seed, name, i, got[i].Start, got[i].End, spans[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMilestoneRoundTrip does the same for the milestone encoding.
+func TestQuickMilestoneRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := corpus.Generate(corpus.Params{Seed: seed, Words: 30, DamageRate: 0.2})
+		d, err := c.Document()
+		if err != nil {
+			return false
+		}
+		flat, err := Milestone(d, "structure")
+		if err != nil {
+			return false
+		}
+		if re, err := xmlparse.Parse(dom.XML(flat), xmlparse.Options{}); err != nil || re.TextContent() != d.Text {
+			return false
+		}
+		AnnotateOffsets(flat)
+		logical := ReassembleMilestones(flat)
+		for _, h := range d.Hiers {
+			count := 0
+			for _, n := range h.Nodes {
+				if n.Kind == dom.Element {
+					count++
+				}
+			}
+			name := ""
+			for _, n := range h.Nodes {
+				if n.Kind == dom.Element {
+					name = n.Name
+					break
+				}
+			}
+			if name == "" {
+				continue
+			}
+			// vline/w share a hierarchy; count per name instead.
+			perName := map[string]int{}
+			for _, n := range h.Nodes {
+				if n.Kind == dom.Element {
+					perName[n.Name]++
+				}
+			}
+			for nm, cnt := range perName {
+				if len(logical[nm]) != cnt {
+					t.Logf("seed %d: %s %d vs %d", seed, nm, len(logical[nm]), cnt)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFragmentHandlesEqualSpans(t *testing.T) {
+	// Two hierarchies with identical spans must nest, not split.
+	a := xmlparse.MustParse(`<r><x>abc</x>def</r>`)
+	b := xmlparse.MustParse(`<r><y>abc</y><z>def</z></r>`)
+	d, err := core.Build([]core.NamedTree{{Name: "A", Root: a}, {Name: "B", Root: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := Fragment(d)
+	xml := dom.XML(flat)
+	if strings.Contains(xml, "part=") {
+		t.Errorf("equal spans should not fragment: %s", xml)
+	}
+	if _, err := xmlparse.Parse(xml, xmlparse.Options{}); err != nil {
+		t.Fatalf("not well-formed: %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package store persists multihierarchical documents in a compact binary
+// format — the storage side of the paper's "framework for management of
+// concurrent XML markup" ([5]). The image contains the base text once
+// plus the markup structure of every hierarchy (names interned in a
+// string table, spans as varint deltas); text content is never
+// duplicated, since every text node is a slice of S. Loading rebuilds
+// the trees and re-runs core.Build, so a decoded document is revalidated
+// and fully indexed.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/dom"
+)
+
+// magic and version identify the image format.
+const (
+	magic   = "MHXG"
+	version = 1
+)
+
+// Encode writes a binary image of the document to w.
+func Encode(w io.Writer, d *core.Document) error {
+	bw := bufio.NewWriter(w)
+	e := &encoder{w: bw, intern: map[string]uint64{}}
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	e.uvarint(version)
+
+	// String table: element/attribute names and attribute values.
+	var table []string
+	add := func(s string) {
+		if _, ok := e.intern[s]; !ok {
+			e.intern[s] = uint64(len(table))
+			table = append(table, s)
+		}
+	}
+	for _, h := range d.Hiers {
+		add(h.Name)
+		for _, n := range h.Nodes {
+			if n.Kind == dom.Element {
+				add(n.Name)
+				for _, a := range n.Attrs {
+					add(a.Name)
+					add(a.Data)
+				}
+			}
+		}
+	}
+	add(d.Root.Name)
+	for _, a := range d.Root.Attrs {
+		add(a.Name)
+		add(a.Data)
+	}
+	e.uvarint(uint64(len(table)))
+	for _, s := range table {
+		e.str(s)
+	}
+
+	e.str(d.Text)
+	e.ref(d.Root.Name)
+	e.uvarint(uint64(len(d.Root.Attrs)))
+	for _, a := range d.Root.Attrs {
+		e.ref(a.Name)
+		e.ref(a.Data)
+	}
+	e.uvarint(uint64(len(d.Hiers)))
+	for _, h := range d.Hiers {
+		e.ref(h.Name)
+		e.uvarint(uint64(len(h.Top)))
+		for _, t := range h.Top {
+			e.node(t)
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+type encoder struct {
+	w      *bufio.Writer
+	intern map[string]uint64
+	buf    [binary.MaxVarintLen64]byte
+	err    error
+}
+
+func (e *encoder) uvarint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *encoder) ref(s string) { e.uvarint(e.intern[s]) }
+
+// node writes one tree node: kind, name/attrs (elements) and span
+// (element: start+length; text: length only, start is implied by
+// context on decode... we store start deltas for robustness).
+func (e *encoder) node(n *dom.Node) {
+	e.uvarint(uint64(n.Kind))
+	switch n.Kind {
+	case dom.Element:
+		e.ref(n.Name)
+		e.uvarint(uint64(n.Start))
+		e.uvarint(uint64(n.End - n.Start))
+		e.uvarint(uint64(len(n.Attrs)))
+		for _, a := range n.Attrs {
+			e.ref(a.Name)
+			e.ref(a.Data)
+		}
+		e.uvarint(uint64(len(n.Children)))
+		for _, c := range n.Children {
+			e.node(c)
+		}
+	case dom.Text:
+		e.uvarint(uint64(n.Start))
+		e.uvarint(uint64(n.End - n.Start))
+	case dom.Comment, dom.ProcInst:
+		// Comments/PIs carry no base text; store name+data inline.
+		e.str(n.Name)
+		e.str(n.Data)
+		e.uvarint(uint64(n.Start))
+	default:
+		if e.err == nil {
+			e.err = fmt.Errorf("store: cannot encode %s node", n.Kind)
+		}
+	}
+}
+
+// Decode reads a binary image and rebuilds the document (including all
+// KyGODDAG indexes, via core.Build).
+func Decode(r io.Reader) (*core.Document, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", head)
+	}
+	d := &decoder{r: br}
+	if v := d.uvarint(); v != version {
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	table := make([]string, d.uvarint())
+	for i := range table {
+		table[i] = d.str()
+	}
+	d.table = table
+
+	text := d.str()
+	rootName := d.ref()
+	nAttrs := d.uvarint()
+	type kv struct{ k, v string }
+	rootAttrs := make([]kv, nAttrs)
+	for i := range rootAttrs {
+		rootAttrs[i] = kv{d.ref(), d.ref()}
+	}
+	nh := d.uvarint()
+	trees := make([]core.NamedTree, 0, nh)
+	for i := uint64(0); i < nh; i++ {
+		name := d.ref()
+		root := dom.NewElement(rootName)
+		for _, a := range rootAttrs {
+			root.SetAttr(a.k, a.v)
+		}
+		nTop := d.uvarint()
+		for j := uint64(0); j < nTop; j++ {
+			root.AppendChild(d.node(text))
+		}
+		trees = append(trees, core.NamedTree{Name: name, Root: root})
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("store: %w", d.err)
+	}
+	doc, err := core.Build(trees)
+	if err != nil {
+		return nil, fmt.Errorf("store: rebuilding document: %w", err)
+	}
+	if doc.Text != text {
+		return nil, fmt.Errorf("store: image text inconsistent with markup")
+	}
+	return doc, nil
+}
+
+type decoder struct {
+	r     *bufio.Reader
+	table []string
+	err   error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<30 {
+		d.err = fmt.Errorf("corrupt string length %d", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+func (d *decoder) ref() string {
+	i := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if i >= uint64(len(d.table)) {
+		d.err = fmt.Errorf("corrupt string reference %d", i)
+		return ""
+	}
+	return d.table[i]
+}
+
+func (d *decoder) node(text string) *dom.Node {
+	kind := dom.Kind(d.uvarint())
+	if d.err != nil {
+		return dom.NewText("")
+	}
+	switch kind {
+	case dom.Element:
+		el := dom.NewElement(d.ref())
+		start := d.uvarint()
+		length := d.uvarint()
+		el.Start, el.End = int(start), int(start+length)
+		na := d.uvarint()
+		for i := uint64(0); i < na; i++ {
+			el.SetAttr(d.ref(), d.ref())
+		}
+		nc := d.uvarint()
+		for i := uint64(0); i < nc && d.err == nil; i++ {
+			el.AppendChild(d.node(text))
+		}
+		return el
+	case dom.Text:
+		start := d.uvarint()
+		length := d.uvarint()
+		if d.err == nil && (start+length > uint64(len(text))) {
+			d.err = fmt.Errorf("corrupt text span [%d,+%d)", start, length)
+			return dom.NewText("")
+		}
+		t := dom.NewText(text[start : start+length])
+		t.Start, t.End = int(start), int(start+length)
+		return t
+	case dom.Comment, dom.ProcInst:
+		n := &dom.Node{Kind: kind, Name: d.str(), Data: d.str()}
+		p := d.uvarint()
+		n.Start, n.End = int(p), int(p)
+		return n
+	}
+	d.err = fmt.Errorf("corrupt node kind %d", kind)
+	return dom.NewText("")
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/corpus"
+	"mhxquery/internal/dom"
+)
+
+func TestRoundTripBoethius(t *testing.T) {
+	d := corpus.MustBoethius()
+	var buf bytes.Buffer
+	if err := Encode(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Text != d.Text {
+		t.Error("text differs")
+	}
+	if got, want := d2.Stats(), d.Stats(); got != want {
+		t.Errorf("stats %+v vs %+v", got, want)
+	}
+	for _, name := range d.HierarchyNames() {
+		a, err := d.Serialize(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d2.Serialize(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("hierarchy %s differs:\n %s\n %s", name, a, b)
+		}
+	}
+	if d.LeafTable() != d2.LeafTable() {
+		t.Error("leaf tables differ")
+	}
+}
+
+func TestRoundTripPreservesAttributes(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 9, Words: 20})
+	d, err := c.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decorate some elements with attributes before storing.
+	h := d.HierarchyByName("damage")
+	for i, n := range h.Nodes {
+		if n.Kind == dom.Element && n.Name == "dmg" {
+			n.SetAttr("type", "stain")
+			n.SetAttr("n", "x"+strings.Repeat("i", i%3))
+		}
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := d2.HierarchyByName("damage")
+	for i, n := range h.Nodes {
+		m := h2.Nodes[i]
+		if n.Kind != m.Kind || n.Name != m.Name || n.Start != m.Start || n.End != m.End {
+			t.Fatalf("node %d differs", i)
+		}
+		if n.Kind == dom.Element {
+			for _, a := range n.Attrs {
+				if v, ok := m.Attr(a.Name); !ok || v != a.Data {
+					t.Errorf("attr %s lost", a.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := corpus.Generate(corpus.Params{Seed: seed, Words: 25, DamageRate: 0.2, RestoreRate: 0.2})
+		d, err := c.Document()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, d); err != nil {
+			t.Logf("seed %d: encode: %v", seed, err)
+			return false
+		}
+		d2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Logf("seed %d: decode: %v", seed, err)
+			return false
+		}
+		if d2.Text != d.Text || d2.Stats() != d.Stats() {
+			return false
+		}
+		for _, name := range d.HierarchyNames() {
+			a, _ := d.Serialize(name)
+			b, _ := d2.Serialize(name)
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageSmallerThanXML(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 3, Words: 1000})
+	d, err := c.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	xmlSize := 0
+	for _, x := range c.XML {
+		xmlSize += len(x)
+	}
+	if buf.Len() >= xmlSize {
+		t.Errorf("image %d bytes >= XML %d bytes (text should be stored once)", buf.Len(), xmlSize)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	d := corpus.MustBoethius()
+	var buf bytes.Buffer
+	if err := Encode(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Error("empty image accepted")
+	}
+	if _, err := Decode(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Decode(bytes.NewReader(img[:len(img)/2])); err == nil {
+		t.Error("truncated image accepted")
+	}
+	bad := append([]byte(nil), img...)
+	bad[4] = 0xFF // version byte
+	if _, err := Decode(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestDecodedDocumentQueries(t *testing.T) {
+	d := corpus.MustBoethius()
+	var buf bytes.Buffer
+	if err := Encode(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded document is fully functional: indexed axes work.
+	var line1 *dom.Node
+	for _, n := range d2.HierarchyByName("physical").Nodes {
+		if n.Kind == dom.Element {
+			line1 = n
+			break
+		}
+	}
+	found := false
+	for _, m := range d2.Eval(axisOverlapping(), line1) {
+		if m.Kind == dom.Element && m.Name == "w" && m.TextContent() == "singallice" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("decoded document: overlapping axis broken")
+	}
+}
+
+// axisOverlapping avoids importing core's constant directly in the test
+// body above.
+func axisOverlapping() core.Axis { return core.AxisOverlapping }

@@ -1,0 +1,462 @@
+// Package xmlparse implements a from-scratch, document-centric XML parser.
+//
+// Unlike encoding/xml it is built for markup over a base text: every
+// element and text node is annotated with its exact byte span [Start,End)
+// of the *decoded* character data stream S, which is what the KyGODDAG
+// construction (package core) keys on. Whitespace is significant and
+// preserved by default. The parser checks well-formedness: single root,
+// balanced and properly nested tags, unique attributes, valid names and
+// entity references.
+package xmlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"mhxquery/internal/dom"
+)
+
+// Options configures parsing.
+type Options struct {
+	// KeepComments retains comment nodes in the tree. Comments carry no
+	// base text, so hierarchies over the same S may differ in comments.
+	KeepComments bool
+	// KeepProcInsts retains processing-instruction nodes.
+	KeepProcInsts bool
+	// TrimWhitespace drops whitespace-only text nodes (data-centric mode;
+	// never use it for aligned hierarchy encodings).
+	TrimWhitespace bool
+}
+
+// SyntaxError describes a well-formedness violation with its position.
+type SyntaxError struct {
+	Offset int // byte offset into the input
+	Line   int // 1-based
+	Col    int // 1-based, in bytes
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xmlparse: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a complete XML document and returns its root element.
+func Parse(input string, opts Options) (*dom.Node, error) {
+	p := &parser{src: input, opts: opts}
+	return p.parseDocument()
+}
+
+// MustParse is Parse panicking on error; for tests and fixtures.
+func MustParse(input string) *dom.Node {
+	n, err := Parse(input, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src     string
+	pos     int
+	textPos int // running offset into the decoded base text S
+	opts    Options
+}
+
+func (p *parser) errorf(at int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < at && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &SyntaxError{Offset: at, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseDocument() (*dom.Node, error) {
+	// Byte-order mark.
+	p.src = strings.TrimPrefix(p.src, "\ufeff")
+	if err := p.skipProlog(); err != nil {
+		return nil, err
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return nil, p.errorf(p.pos, "expected root element")
+	}
+	root, err := p.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	// Trailing misc.
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.pos++
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			if _, err := p.scanComment(); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<?"):
+			if _, _, err := p.scanPI(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf(p.pos, "content after root element")
+		}
+	}
+	return root, nil
+}
+
+func (p *parser) skipProlog() error {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.pos++
+		case strings.HasPrefix(p.src[p.pos:], "<?"):
+			if _, _, err := p.scanPI(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			if _, err := p.scanComment(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!DOCTYPE"):
+			if err := p.skipDoctype(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (p *parser) skipDoctype() error {
+	start := p.pos
+	p.pos += len("<!DOCTYPE")
+	depth := 0
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth == 0 {
+				p.pos++
+				return nil
+			}
+		}
+		p.pos++
+	}
+	return p.errorf(start, "unterminated DOCTYPE")
+}
+
+// parseElement parses the element whose '<' is at p.pos.
+func (p *parser) parseElement() (*dom.Node, error) {
+	open := p.pos
+	p.pos++ // '<'
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	el := dom.NewElement(name)
+	el.Start = p.textPos
+	// Attributes.
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, p.errorf(open, "unterminated start tag <%s", name)
+		}
+		switch p.src[p.pos] {
+		case '>':
+			p.pos++
+			goto content
+		case '/':
+			if p.pos+1 >= len(p.src) || p.src[p.pos+1] != '>' {
+				return nil, p.errorf(p.pos, "expected '/>'")
+			}
+			p.pos += 2
+			el.End = p.textPos
+			return el, nil
+		}
+		aname, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := el.Attr(aname); dup {
+			return nil, p.errorf(p.pos, "duplicate attribute %q on <%s>", aname, name)
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != '=' {
+			return nil, p.errorf(p.pos, "expected '=' after attribute %q", aname)
+		}
+		p.pos++
+		p.skipSpace()
+		val, err := p.parseAttrValue()
+		if err != nil {
+			return nil, err
+		}
+		el.SetAttr(aname, val)
+	}
+
+content:
+	var buf strings.Builder
+	textStart := p.textPos
+	appendText := func(s string) {
+		if buf.Len() == 0 {
+			textStart = p.textPos
+		}
+		buf.WriteString(s)
+		p.textPos += len(s)
+	}
+	flush := func() {
+		if buf.Len() == 0 {
+			return
+		}
+		t := dom.NewText(buf.String())
+		t.Start, t.End = textStart, p.textPos
+		if !p.opts.TrimWhitespace || !t.IsWhitespace() {
+			el.AppendChild(t)
+		}
+		buf.Reset()
+	}
+	for {
+		if p.pos >= len(p.src) {
+			return nil, p.errorf(open, "unterminated element <%s>", name)
+		}
+		c := p.src[p.pos]
+		if c == '<' {
+			rest := p.src[p.pos:]
+			switch {
+			case strings.HasPrefix(rest, "</"):
+				flush()
+				p.pos += 2
+				ename, err := p.parseName()
+				if err != nil {
+					return nil, err
+				}
+				if ename != name {
+					return nil, p.errorf(p.pos, "mismatched end tag </%s>, open element is <%s>", ename, name)
+				}
+				p.skipSpace()
+				if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+					return nil, p.errorf(p.pos, "expected '>' in end tag")
+				}
+				p.pos++
+				el.End = p.textPos
+				return el, nil
+			case strings.HasPrefix(rest, "<!--"):
+				// Only split the surrounding text when the comment is
+				// kept: discarded comments must not introduce spurious
+				// text-node boundaries (they would show up as extra leaf
+				// boundaries in the KyGODDAG).
+				if p.opts.KeepComments {
+					flush()
+				}
+				data, err := p.scanComment()
+				if err != nil {
+					return nil, err
+				}
+				if p.opts.KeepComments {
+					el.AppendChild(&dom.Node{Kind: dom.Comment, Data: data, Start: p.textPos, End: p.textPos})
+				}
+			case strings.HasPrefix(rest, "<![CDATA["):
+				end := strings.Index(rest, "]]>")
+				if end < 0 {
+					return nil, p.errorf(p.pos, "unterminated CDATA section")
+				}
+				appendText(normalizeEOL(rest[len("<![CDATA["):end]))
+				p.pos += end + len("]]>")
+			case strings.HasPrefix(rest, "<?"):
+				if p.opts.KeepProcInsts {
+					flush()
+				}
+				target, data, err := p.scanPI()
+				if err != nil {
+					return nil, err
+				}
+				if p.opts.KeepProcInsts {
+					el.AppendChild(&dom.Node{Kind: dom.ProcInst, Name: target, Data: data, Start: p.textPos, End: p.textPos})
+				}
+			case strings.HasPrefix(rest, "<!"):
+				return nil, p.errorf(p.pos, "unexpected markup declaration in content")
+			default:
+				flush()
+				child, err := p.parseElement()
+				if err != nil {
+					return nil, err
+				}
+				el.AppendChild(child)
+			}
+			continue
+		}
+		if c == '&' {
+			s, err := p.parseEntity()
+			if err != nil {
+				return nil, err
+			}
+			appendText(s)
+			continue
+		}
+		// Plain character run.
+		end := p.pos
+		for end < len(p.src) && p.src[end] != '<' && p.src[end] != '&' {
+			end++
+		}
+		appendText(normalizeEOL(p.src[p.pos:end]))
+		p.pos = end
+	}
+}
+
+// normalizeEOL applies XML end-of-line handling: \r\n and bare \r become \n.
+func normalizeEOL(s string) string {
+	if !strings.Contains(s, "\r") {
+		return s
+	}
+	s = strings.ReplaceAll(s, "\r\n", "\n")
+	return strings.ReplaceAll(s, "\r", "\n")
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// IsNameStart reports whether r can begin an XML name.
+func IsNameStart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r)
+}
+
+// IsNameChar reports whether r can continue an XML name.
+func IsNameChar(r rune) bool {
+	return IsNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r) ||
+		unicode.Is(unicode.Mn, r) || unicode.Is(unicode.Mc, r)
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	r, sz := utf8.DecodeRuneInString(p.src[p.pos:])
+	if sz == 0 || !IsNameStart(r) {
+		return "", p.errorf(p.pos, "expected name")
+	}
+	p.pos += sz
+	for p.pos < len(p.src) {
+		r, sz = utf8.DecodeRuneInString(p.src[p.pos:])
+		if !IsNameChar(r) {
+			break
+		}
+		p.pos += sz
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseAttrValue() (string, error) {
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errorf(p.pos, "expected quoted attribute value")
+	}
+	quote := p.src[p.pos]
+	p.pos++
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.src) {
+			return "", p.errorf(p.pos, "unterminated attribute value")
+		}
+		c := p.src[p.pos]
+		switch c {
+		case quote:
+			p.pos++
+			return b.String(), nil
+		case '&':
+			s, err := p.parseEntity()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		case '<':
+			return "", p.errorf(p.pos, "'<' in attribute value")
+		case '\n', '\t', '\r':
+			b.WriteByte(' ') // attribute-value normalization
+			p.pos++
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+}
+
+func (p *parser) parseEntity() (string, error) {
+	start := p.pos
+	semi := strings.IndexByte(p.src[p.pos:], ';')
+	if semi < 0 || semi > 32 {
+		return "", p.errorf(start, "unterminated entity reference")
+	}
+	ref := p.src[p.pos+1 : p.pos+semi]
+	p.pos += semi + 1
+	switch ref {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return `"`, nil
+	}
+	if strings.HasPrefix(ref, "#") {
+		num := ref[1:]
+		base := 10
+		if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+			num, base = num[1:], 16
+		}
+		v, err := strconv.ParseUint(num, base, 32)
+		if err != nil || !utf8.ValidRune(rune(v)) || v == 0 {
+			return "", p.errorf(start, "invalid character reference &%s;", ref)
+		}
+		return string(rune(v)), nil
+	}
+	return "", p.errorf(start, "unknown entity &%s;", ref)
+}
+
+func (p *parser) scanComment() (string, error) {
+	start := p.pos
+	p.pos += len("<!--")
+	end := strings.Index(p.src[p.pos:], "-->")
+	if end < 0 {
+		return "", p.errorf(start, "unterminated comment")
+	}
+	data := p.src[p.pos : p.pos+end]
+	p.pos += end + len("-->")
+	return data, nil
+}
+
+func (p *parser) scanPI() (target, data string, err error) {
+	start := p.pos
+	p.pos += len("<?")
+	target, err = p.parseName()
+	if err != nil {
+		return "", "", err
+	}
+	end := strings.Index(p.src[p.pos:], "?>")
+	if end < 0 {
+		return "", "", p.errorf(start, "unterminated processing instruction")
+	}
+	data = strings.TrimLeft(p.src[p.pos:p.pos+end], " \t\n\r")
+	p.pos += end + len("?>")
+	return target, data, nil
+}

@@ -1,0 +1,352 @@
+package xmlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mhxquery/internal/dom"
+)
+
+func TestParseBasic(t *testing.T) {
+	root, err := Parse(`<r><a x="1">hi</a><b/></r>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "r" || len(root.Children) != 2 {
+		t.Fatalf("root = %s with %d children", root.Name, len(root.Children))
+	}
+	a := root.Children[0]
+	if a.Name != "a" {
+		t.Errorf("first child = %s", a.Name)
+	}
+	if v, ok := a.Attr("x"); !ok || v != "1" {
+		t.Errorf("attr x = %q %v", v, ok)
+	}
+	if a.TextContent() != "hi" {
+		t.Errorf("a text = %q", a.TextContent())
+	}
+}
+
+func TestParseOffsets(t *testing.T) {
+	// S = "abcdef"; <m> covers "cd" at [2,4).
+	root, err := Parse(`<r>ab<m>cd</m>ef</r>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Start != 0 || root.End != 6 {
+		t.Errorf("root span = [%d,%d)", root.Start, root.End)
+	}
+	m := root.Children[1]
+	if m.Start != 2 || m.End != 4 {
+		t.Errorf("m span = [%d,%d), want [2,4)", m.Start, m.End)
+	}
+	ef := root.Children[2]
+	if ef.Start != 4 || ef.End != 6 || ef.Data != "ef" {
+		t.Errorf("text ef span = [%d,%d) %q", ef.Start, ef.End, ef.Data)
+	}
+}
+
+func TestParseOffsetsWithEntities(t *testing.T) {
+	// Entities decode to single characters; offsets follow the DECODED text.
+	root, err := Parse(`<r>a&amp;<m>&lt;x</m></r>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.TextContent(); got != "a&<x" {
+		t.Fatalf("text = %q", got)
+	}
+	m := root.Children[1]
+	if m.Start != 2 || m.End != 4 {
+		t.Errorf("m span = [%d,%d), want [2,4)", m.Start, m.End)
+	}
+}
+
+func TestParseOffsetsUTF8(t *testing.T) {
+	root, err := Parse("<r>þa<m>ðe</m></r>", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := root.Children[1]
+	if m.Start != 3 || m.End != 6 { // þ is 2 bytes
+		t.Errorf("m span = [%d,%d), want [3,6)", m.Start, m.End)
+	}
+}
+
+func TestParseEmptyElementSpan(t *testing.T) {
+	root, err := Parse(`<r>ab<e/>cd</r>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := root.Children[1]
+	if e.Start != 2 || e.End != 2 {
+		t.Errorf("empty element span = [%d,%d), want [2,2)", e.Start, e.End)
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	root, err := Parse(`<r>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</r>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.TextContent(); got != `<>&'"AB` {
+		t.Errorf("decoded = %q", got)
+	}
+}
+
+func TestParseCDATA(t *testing.T) {
+	root, err := Parse(`<r>a<![CDATA[<not<markup>&amp;]]>b</r>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.TextContent(); got != "a<not<markup>&amp;b" {
+		t.Errorf("CDATA = %q", got)
+	}
+	// CDATA merges with surrounding text into one node.
+	if len(root.Children) != 1 || root.Children[0].Kind != dom.Text {
+		t.Errorf("children = %d", len(root.Children))
+	}
+}
+
+func TestParseCommentsAndPIs(t *testing.T) {
+	src := `<?xml version="1.0"?><!DOCTYPE r [<!ELEMENT r ANY>]><r>a<!-- c -->b<?pi data?></r><!-- after -->`
+	root, err := Parse(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.TextContent(); got != "ab" {
+		t.Errorf("text = %q", got)
+	}
+	if len(root.Children) != 1 {
+		t.Errorf("discarded mode children = %d, want 1 (merged text)", len(root.Children))
+	}
+	root2, err := Parse(src, Options{KeepComments: true, KeepProcInsts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []dom.Kind{}
+	for _, c := range root2.Children {
+		kinds = append(kinds, c.Kind)
+	}
+	want := []dom.Kind{dom.Text, dom.Comment, dom.Text, dom.ProcInst}
+	if len(kinds) != len(want) {
+		t.Fatalf("children kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("children kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestParseWhitespacePreserved(t *testing.T) {
+	root, err := Parse("<r>  <a> x </a>\n</r>", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.TextContent(); got != "   x \n" {
+		t.Errorf("preserved text = %q", got)
+	}
+	root2, err := Parse("<r>  <a> x </a>\n</r>", Options{TrimWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root2.Children) != 1 {
+		t.Errorf("trimmed children = %d, want 1", len(root2.Children))
+	}
+}
+
+func TestParseCRLFNormalization(t *testing.T) {
+	root, err := Parse("<r>a\r\nb\rc</r>", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.TextContent(); got != "a\nb\nc" {
+		t.Errorf("EOL normalized = %q", got)
+	}
+}
+
+func TestParseAttrValueNormalization(t *testing.T) {
+	root, err := Parse("<r a='x\ny'/>", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := root.Attr("a"); v != "x y" {
+		t.Errorf("attr normalized = %q", v)
+	}
+}
+
+func TestParseSelfClosingAndBothQuotes(t *testing.T) {
+	root, err := Parse(`<r><a x='1' y="2"/></r>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := root.Children[0]
+	if v, _ := a.Attr("x"); v != "1" {
+		t.Error("single-quoted attr")
+	}
+	if v, _ := a.Attr("y"); v != "2" {
+		t.Error("double-quoted attr")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no root", "   "},
+		{"mismatched", "<a><b></a></b>"},
+		{"unterminated", "<a><b>"},
+		{"dup attr", `<a x="1" x="2"/>`},
+		{"content after root", "<a/><b/>"},
+		{"text after root", "<a/>junk"},
+		{"bad entity", "<a>&nope;</a>"},
+		{"unterminated entity", "<a>&amp</a>"},
+		{"bad char ref", "<a>&#xZZ;</a>"},
+		{"lt in attr", `<a x="<"/>`},
+		{"missing eq", `<a x"1"/>`},
+		{"bad name", "<1a/>"},
+		{"unterminated comment", "<a><!-- x</a>"},
+		{"unterminated cdata", "<a><![CDATA[x</a>"},
+		{"unterminated pi", "<a><?pi x</a>"},
+		{"unterminated doctype", "<!DOCTYPE r [<a/>"},
+		{"markup decl in content", "<a><!ELEMENT x></a>"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src, Options{}); err == nil {
+			t.Errorf("%s: expected error for %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("<a>\n<b></c></a>", Options{})
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Line)
+	}
+	if !strings.Contains(se.Error(), "mismatched") {
+		t.Errorf("error text = %q", se.Error())
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	depth := 2000
+	src := strings.Repeat("<d>", depth) + "x" + strings.Repeat("</d>", depth)
+	root, err := Parse("<r>"+src+"</r>", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.TextContent() != "x" {
+		t.Error("deep nesting text lost")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("<broken")
+}
+
+// --- round-trip property test ------------------------------------------------
+
+// genTree generates a random well-formed element tree.
+func genTree(r *rand.Rand, depth int) *dom.Node {
+	names := []string{"a", "b", "c", "w", "line"}
+	el := dom.NewElement(names[r.Intn(len(names))])
+	if r.Intn(2) == 0 {
+		el.SetAttr("k", randText(r))
+	}
+	kids := r.Intn(4)
+	if depth <= 0 {
+		kids = 0
+	}
+	for i := 0; i < kids; i++ {
+		if r.Intn(2) == 0 {
+			el.AppendChild(dom.NewText(randText(r)))
+		} else {
+			el.AppendChild(genTree(r, depth-1))
+		}
+	}
+	if len(el.Children) == 0 && r.Intn(2) == 0 {
+		el.AppendChild(dom.NewText(randText(r)))
+	}
+	return el
+}
+
+func randText(r *rand.Rand) string {
+	alphabet := []rune("ab <>&\"'þ\n")
+	n := 1 + r.Intn(6)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[r.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// TestQuickRoundTrip checks serialize→parse→serialize is the identity on
+// random trees (after one serialization normalizes adjacent text nodes).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := genTree(r, 3)
+		xml1 := dom.XML(tree)
+		parsed, err := Parse(xml1, Options{})
+		if err != nil {
+			t.Logf("seed %d: parse error %v on %s", seed, err, xml1)
+			return false
+		}
+		xml2 := dom.XML(parsed)
+		if xml1 != xml2 {
+			t.Logf("seed %d:\n xml1=%s\n xml2=%s", seed, xml1, xml2)
+			return false
+		}
+		if tree.TextContent() != parsed.TextContent() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOffsetsConsistent checks that on random trees, every parsed
+// node's span matches its text content's position in S.
+func TestQuickOffsetsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := genTree(r, 3)
+		parsed, err := Parse(dom.XML(tree), Options{})
+		if err != nil {
+			return false
+		}
+		s := parsed.TextContent()
+		okAll := true
+		dom.Walk(parsed, func(n *dom.Node) {
+			switch n.Kind {
+			case dom.Element, dom.Text:
+				if n.Start < 0 || n.End > len(s) || n.Start > n.End {
+					okAll = false
+					return
+				}
+				if got := s[n.Start:n.End]; got != n.TextContent() {
+					okAll = false
+				}
+			}
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

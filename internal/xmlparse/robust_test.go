@@ -1,0 +1,89 @@
+package xmlparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mhxquery/internal/dom"
+)
+
+// TestQuickParseNeverPanics feeds random byte soup and markup-ish soup
+// to the parser: it must return a tree or an error, never panic.
+func TestQuickParseNeverPanics(t *testing.T) {
+	pieces := []string{
+		"<", ">", "</", "/>", "a", "r", "=", `"`, "'", "&", ";", "&amp;",
+		"&#", "<!--", "-->", "<![CDATA[", "]]>", "<?", "?>", "<!DOCTYPE",
+		"[", "]", " ", "\n", "þ", "\xff", "x y", "<a>", "</a>",
+	}
+	f := func(seed int64) (ok bool) {
+		var src string
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: parse panicked on %q: %v", seed, src, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40)
+		for i := 0; i < n; i++ {
+			src += pieces[r.Intn(len(pieces))]
+		}
+		_, _ = Parse(src, Options{})
+		_, _ = Parse(src, Options{KeepComments: true, KeepProcInsts: true, TrimWhitespace: true})
+		raw := make([]byte, r.Intn(80))
+		for i := range raw {
+			raw[i] = byte(r.Intn(256))
+		}
+		_, _ = Parse(string(raw), Options{})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParsedTreesAreConsistent: whenever random soup does parse,
+// the resulting tree must satisfy the structural invariants: parent
+// links set, child spans nested within their parent's, spans within the
+// decoded text, sibling spans non-decreasing.
+func TestQuickParsedTreesAreConsistent(t *testing.T) {
+	pieces := []string{"<a>", "</a>", "<b>", "</b>", "x", "<c/>", " ", "&lt;"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := ""
+		for i := 0; i < r.Intn(30); i++ {
+			src += pieces[r.Intn(len(pieces))]
+		}
+		root, err := Parse(src, Options{})
+		if err != nil {
+			return true // rejection is fine; we check accepted trees
+		}
+		s := root.TextContent()
+		if root.Start != 0 || root.End != len(s) {
+			return false
+		}
+		okAll := true
+		var check func(n *dom.Node)
+		check = func(n *dom.Node) {
+			prevEnd := n.Start
+			for _, c := range n.Children {
+				if c.Parent != n {
+					okAll = false
+				}
+				if c.Start < prevEnd || c.End > n.End || c.Start > c.End {
+					okAll = false
+				}
+				prevEnd = c.End
+				if c.Kind == dom.Element {
+					check(c)
+				}
+			}
+		}
+		check(root)
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

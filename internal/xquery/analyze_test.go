@@ -1,0 +1,122 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStripOuterDotStar(t *testing.T) {
+	cases := map[string]string{
+		".*unawe.*":        "unawe",
+		".*?unawe.*":       "unawe",
+		"unawe":            "unawe",
+		".*un<a>a</a>we.*": "un<a>a</a>we",
+		".*.*x.*":          "x",
+		`a\.*`:             `a\.*`, // escaped dot: not stripped
+		".*":               ".*",   // stripping everything keeps the original
+		"x.*y":             "x.*y", // inner .* untouched
+	}
+	for in, want := range cases {
+		if got := stripOuterDotStar(in); got != want {
+			t.Errorf("stripOuterDotStar(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTranslateFragmentPattern(t *testing.T) {
+	re, groups, err := translateFragmentPattern("un<a>a</a>we")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != "un(a)we" {
+		t.Errorf("regex = %q", re)
+	}
+	if len(groups) != 1 || groups[0].name != "a" || groups[0].parent != -1 {
+		t.Errorf("groups = %+v", groups)
+	}
+
+	// Nested tags nest groups.
+	re, groups, err = translateFragmentPattern("<o>x<i>y</i>z</o>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != "(x(y)z)" {
+		t.Errorf("nested regex = %q", re)
+	}
+	if len(groups) != 2 || groups[1].parent != 0 {
+		t.Errorf("nested groups = %+v", groups)
+	}
+
+	// User parentheses become non-capturing; existing (?...) is kept.
+	re, _, err = translateFragmentPattern("(ab)+<g>c</g>(?:d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != "(?:ab)+(c)(?:d)" {
+		t.Errorf("neutralized regex = %q", re)
+	}
+
+	// Character classes shield everything.
+	re, groups, err = translateFragmentPattern(`[<(]x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != `[<(]x` || len(groups) != 0 {
+		t.Errorf("class regex = %q groups=%v", re, groups)
+	}
+
+	// Escapes shield tags.
+	re, _, err = translateFragmentPattern(`\<a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != `\<a>` {
+		t.Errorf("escaped regex = %q", re)
+	}
+
+	// Literal '<' not starting a name.
+	re, _, err = translateFragmentPattern("a<1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != `a\<1` {
+		t.Errorf("literal-lt regex = %q", re)
+	}
+
+	// Errors.
+	for _, bad := range []string{"<a>x", "x</a>", "<a>x</b>"} {
+		if _, _, err := translateFragmentPattern(bad); err == nil {
+			t.Errorf("translate(%q) should fail", bad)
+		}
+	}
+}
+
+func TestQuickTranslateBalanced(t *testing.T) {
+	// For patterns assembled from balanced tags and safe literals, the
+	// translation must produce as many '(' as ')' plus one group entry
+	// per tag pair.
+	f := func(n uint8) bool {
+		depth := int(n%4) + 1
+		var b strings.Builder
+		for i := 0; i < depth; i++ {
+			b.WriteString("<g")
+			b.WriteByte(byte('a' + i))
+			b.WriteString(">x")
+		}
+		for i := depth - 1; i >= 0; i-- {
+			b.WriteString("</g")
+			b.WriteByte(byte('a' + i))
+			b.WriteString(">")
+		}
+		re, groups, err := translateFragmentPattern(b.String())
+		if err != nil {
+			return false
+		}
+		return len(groups) == depth &&
+			strings.Count(re, "(") == depth && strings.Count(re, ")") == depth
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

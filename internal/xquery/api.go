@@ -1,0 +1,66 @@
+package xquery
+
+import (
+	"mhxquery/internal/core"
+)
+
+// Query is a compiled extended-XQuery expression. A Query is immutable
+// and safe for concurrent evaluation against any number of documents.
+type Query struct {
+	src  string
+	body expr
+}
+
+// Compile parses an extended-XQuery expression.
+func Compile(src string) (*Query, error) {
+	body, err := parseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{src: src, body: body}, nil
+}
+
+// MustCompile is Compile panicking on error; for fixtures and tests.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Source returns the query text.
+func (q *Query) Source() string { return q.src }
+
+// Eval evaluates the query against a KyGODDAG document. The initial
+// context item is the shared root. Temporary hierarchies created by
+// analyze-string live in overlay documents private to this evaluation and
+// are discarded when it returns (Definition 4(5)); the input document is
+// never mutated.
+func (q *Query) Eval(d *core.Document) (Seq, error) {
+	return q.EvalWithVars(d, nil)
+}
+
+// EvalWithVars evaluates the query with externally bound variables.
+func (q *Query) EvalWithVars(d *core.Document, vars map[string]Seq) (Seq, error) {
+	st := &evalState{doc: d}
+	c := &context{st: st, item: d.Root, pos: 1, size: 1}
+	for name, val := range vars {
+		c = c.bind(name, val)
+	}
+	return q.body.eval(c)
+}
+
+// EvalString compiles and evaluates src against d and serializes the
+// result the way the paper prints query outputs.
+func EvalString(d *core.Document, src string) (string, error) {
+	q, err := Compile(src)
+	if err != nil {
+		return "", err
+	}
+	res, err := q.Eval(d)
+	if err != nil {
+		return "", err
+	}
+	return Serialize(res), nil
+}

@@ -1,0 +1,91 @@
+package xquery_test
+
+import (
+	"strings"
+	"testing"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/xmlparse"
+	"mhxquery/internal/xquery"
+)
+
+// attrDoc is a two-hierarchy document whose elements carry attributes,
+// exercising the attribute axis across the engine.
+func attrDoc(t *testing.T) *core.Document {
+	t.Helper()
+	a, err := xmlparse.Parse(
+		`<r><zone type="recto" n="1">abcd</zone><zone type="verso" n="2">efgh</zone></r>`,
+		xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := xmlparse.Parse(
+		`<r>a<seg kind="greek">bcde</seg><seg kind="latin">fg</seg>h</r>`,
+		xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.Build([]core.NamedTree{
+		{Name: "layout", Root: a},
+		{Name: "lang", Root: b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAttributeAxisQueries(t *testing.T) {
+	d := attrDoc(t)
+	cases := []struct{ name, src, want string }{
+		{"abbrev attr", `string(/descendant::zone[1]/@type)`, "recto"},
+		{"explicit axis", `string(/descendant::zone[2]/attribute::n)`, "2"},
+		{"attr wildcard count", `count(/descendant::zone[1]/@*)`, "2"},
+		{"attr in predicate", `string(/descendant::zone[@type = 'verso'])`, "efgh"},
+		{"attr missing", `count(/descendant::zone[1]/@missing)`, "0"},
+		{"attr comparison number", `count(/descendant::zone[@n > 1])`, "1"},
+		{"attr name()", `name(/descendant::zone[1]/@type)`, "type"},
+		{"attr string value in constructor", `<z t="{/descendant::zone[1]/@type}"/>`, `<z t="recto"/>`},
+		// seg "bcde" [1,5) staggers across the zone boundary at 4; seg "fg"
+		// [5,7) is properly contained in zone 2.
+		{"attrs across hierarchies", `string(/descendant::seg[overlapping::zone]/@kind)`, "greek"},
+		{"copy element keeps attrs", `serialize(<wrap>{/descendant::seg[1]}</wrap>)`,
+			`<wrap><seg kind="greek">bcde</seg></wrap>`},
+		{"attr of overlap partner", `string(/descendant::zone[2]/overlapping::seg/@kind)`, "greek"},
+		{"predicate on both", `count(/descendant::seg[@kind = 'latin'][xancestor::zone[@type = 'verso']])`, "1"},
+	}
+	for _, tc := range cases {
+		got, err := xquery.EvalString(d, tc.src)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestAttributesInSerializedHierarchy(t *testing.T) {
+	d := attrDoc(t)
+	xml, err := d.Serialize("layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xml, `type="recto"`) || !strings.Contains(xml, `n="2"`) {
+		t.Errorf("attributes lost in serialization: %s", xml)
+	}
+}
+
+func TestParserDepthGuard(t *testing.T) {
+	deep := strings.Repeat("(", 20001) + "1" + strings.Repeat(")", 20001)
+	_, err := xquery.Compile(deep)
+	if err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Errorf("depth guard: err = %v", err)
+	}
+	// A reasonable depth still parses.
+	ok := strings.Repeat("(", 500) + "1" + strings.Repeat(")", 500)
+	if _, err := xquery.Compile(ok); err != nil {
+		t.Errorf("moderate nesting rejected: %v", err)
+	}
+}

@@ -1,0 +1,858 @@
+package xquery
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/dom"
+)
+
+// evalState is the per-evaluation mutable state. The active document
+// pointer advances to overlay documents as analyze-string materializes
+// temporary hierarchies (Definition 4); the base document is never
+// touched, so the temporaries vanish when the evaluation ends — exactly
+// the lifetime rule of Definition 4(5).
+type evalState struct {
+	doc     *core.Document
+	tempSeq int
+}
+
+// context is the dynamic context: context item, position/size, variable
+// bindings (an immutable linked list, so child contexts are O(1)).
+type context struct {
+	st        *evalState
+	item      Item
+	pos, size int
+	vars      *frame
+}
+
+type frame struct {
+	name string
+	val  Seq
+	next *frame
+}
+
+func (c *context) bind(name string, val Seq) *context {
+	nc := *c
+	nc.vars = &frame{name: name, val: val, next: c.vars}
+	return &nc
+}
+
+func (c *context) withItem(it Item, pos, size int) *context {
+	nc := *c
+	nc.item, nc.pos, nc.size = it, pos, size
+	return &nc
+}
+
+func (c *context) lookup(name string) (Seq, bool) {
+	for f := c.vars; f != nil; f = f.next {
+		if f.name == name {
+			return f.val, true
+		}
+	}
+	return nil, false
+}
+
+// ---- leaf expressions ----------------------------------------------------
+
+func (e *literalExpr) eval(*context) (Seq, error) { return singleton(e.v), nil }
+
+func (e *rawTextExpr) eval(*context) (Seq, error) { return singleton(e.s), nil }
+
+func (e *varExpr) eval(c *context) (Seq, error) {
+	v, ok := c.lookup(e.name)
+	if !ok {
+		return nil, errf("XPST0008", "undefined variable $%s", e.name)
+	}
+	return v, nil
+}
+
+func (e *contextItemExpr) eval(c *context) (Seq, error) {
+	if c.item == nil {
+		return nil, errf("XPDY0002", "context item is undefined")
+	}
+	return singleton(c.item), nil
+}
+
+func (e *rootExpr) eval(c *context) (Seq, error) {
+	return singleton(c.st.doc.Root), nil
+}
+
+func (e *seqExpr) eval(c *context) (Seq, error) {
+	var out Seq
+	for _, it := range e.items {
+		v, err := it.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+func (e *rangeExpr) eval(c *context) (Seq, error) {
+	lo, empty, err := evalNumber(c, e.lo, "range")
+	if err != nil || empty {
+		return nil, err
+	}
+	hi, empty, err := evalNumber(c, e.hi, "range")
+	if err != nil || empty {
+		return nil, err
+	}
+	if lo != math.Trunc(lo) || hi != math.Trunc(hi) {
+		return nil, errf("FORG0006", "range bounds must be integers")
+	}
+	var out Seq
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// evalNumber evaluates an operand to a single number; empty reports the
+// empty sequence (which propagates as an empty result).
+func evalNumber(c *context, e expr, what string) (f float64, empty bool, err error) {
+	v, err := e.eval(c)
+	if err != nil {
+		return 0, false, err
+	}
+	v = atomizeSeq(v)
+	switch len(v) {
+	case 0:
+		return 0, true, nil
+	case 1:
+		return toNumber(v[0]), false, nil
+	}
+	return 0, false, errf("XPTY0004", "%s operand is a sequence of %d items", what, len(v))
+}
+
+// ---- boolean and comparison ------------------------------------------------
+
+func (e *orExpr) eval(c *context) (Seq, error) {
+	va, err := e.a.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	ba, err := ebv(va)
+	if err != nil {
+		return nil, err
+	}
+	if ba {
+		return singleton(true), nil
+	}
+	vb, err := e.b.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := ebv(vb)
+	return singleton(bb), err
+}
+
+func (e *andExpr) eval(c *context) (Seq, error) {
+	va, err := e.a.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	ba, err := ebv(va)
+	if err != nil {
+		return nil, err
+	}
+	if !ba {
+		return singleton(false), nil
+	}
+	vb, err := e.b.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := ebv(vb)
+	return singleton(bb), err
+}
+
+func (e *cmpExpr) eval(c *context) (Seq, error) {
+	va, err := e.a.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := e.b.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	switch e.kind {
+	case cmpNode:
+		if len(va) == 0 || len(vb) == 0 {
+			return Seq{}, nil
+		}
+		na, aok := va[0].(*dom.Node)
+		nb, bok := vb[0].(*dom.Node)
+		if len(va) > 1 || len(vb) > 1 || !aok || !bok {
+			return nil, errf("XPTY0004", "operands of %q must be single nodes", e.op)
+		}
+		switch e.op {
+		case "is":
+			return singleton(na == nb), nil
+		case "<<":
+			return singleton(dom.Compare(na, nb) < 0), nil
+		default:
+			return singleton(dom.Compare(na, nb) > 0), nil
+		}
+	case cmpValue:
+		aa, bb := atomizeSeq(va), atomizeSeq(vb)
+		if len(aa) == 0 || len(bb) == 0 {
+			return Seq{}, nil
+		}
+		if len(aa) > 1 || len(bb) > 1 {
+			return nil, errf("XPTY0004", "operands of %q must be single values", e.op)
+		}
+		cres, ok := compareAtomic(e.op, aa[0], bb[0])
+		if !ok {
+			return singleton(false), nil
+		}
+		return singleton(applyCmp(e.op, cres)), nil
+	}
+	// General comparison: existential over both sequences.
+	for _, ia := range va {
+		for _, ib := range vb {
+			cres, ok := compareAtomic(e.op, atomize(ia), atomize(ib))
+			if ok && applyCmp(e.op, cres) {
+				return singleton(true), nil
+			}
+		}
+	}
+	return singleton(false), nil
+}
+
+// ---- arithmetic ------------------------------------------------------------
+
+func (e *arithExpr) eval(c *context) (Seq, error) {
+	x, empty, err := evalNumber(c, e.a, "arithmetic")
+	if err != nil || empty {
+		return nil, err
+	}
+	y, empty, err := evalNumber(c, e.b, "arithmetic")
+	if err != nil || empty {
+		return nil, err
+	}
+	switch e.op {
+	case "+":
+		return singleton(x + y), nil
+	case "-":
+		return singleton(x - y), nil
+	case "*":
+		return singleton(x * y), nil
+	case "div":
+		return singleton(x / y), nil
+	case "idiv":
+		if y == 0 {
+			return nil, errf("FOAR0001", "integer division by zero")
+		}
+		return singleton(math.Trunc(x / y)), nil
+	case "mod":
+		return singleton(math.Mod(x, y)), nil
+	}
+	return nil, errf("XPST0003", "unknown arithmetic operator %q", e.op)
+}
+
+func (e *unaryExpr) eval(c *context) (Seq, error) {
+	x, empty, err := evalNumber(c, e.x, "unary minus")
+	if err != nil || empty {
+		return nil, err
+	}
+	return singleton(-x), nil
+}
+
+// ---- node-set operators ------------------------------------------------------
+
+func toNodes(s Seq, op string) ([]*dom.Node, error) {
+	out := make([]*dom.Node, 0, len(s))
+	for _, it := range s {
+		n, ok := it.(*dom.Node)
+		if !ok {
+			return nil, errf("XPTY0004", "operand of %q contains a non-node item", op)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func nodesToSeq(ns []*dom.Node) Seq {
+	out := make(Seq, len(ns))
+	for i, n := range ns {
+		out[i] = n
+	}
+	return out
+}
+
+func (e *unionExpr) eval(c *context) (Seq, error) {
+	va, err := e.a.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := e.b.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	na, err := toNodes(va, "union")
+	if err != nil {
+		return nil, err
+	}
+	nb, err := toNodes(vb, "union")
+	if err != nil {
+		return nil, err
+	}
+	return nodesToSeq(core.SortDoc(append(na, nb...))), nil
+}
+
+func (e *intersectExpr) eval(c *context) (Seq, error) {
+	op := "intersect"
+	if e.except {
+		op = "except"
+	}
+	va, err := e.a.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := e.b.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	na, err := toNodes(va, op)
+	if err != nil {
+		return nil, err
+	}
+	nb, err := toNodes(vb, op)
+	if err != nil {
+		return nil, err
+	}
+	inB := make(map[*dom.Node]bool, len(nb))
+	for _, n := range nb {
+		inB[n] = true
+	}
+	var out []*dom.Node
+	for _, n := range na {
+		if inB[n] != e.except {
+			out = append(out, n)
+		}
+	}
+	return nodesToSeq(core.SortDoc(out)), nil
+}
+
+// ---- control flow -------------------------------------------------------------
+
+func (e *ifExpr) eval(c *context) (Seq, error) {
+	v, err := e.cond.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ebv(v)
+	if err != nil {
+		return nil, err
+	}
+	if b {
+		return e.then.eval(c)
+	}
+	return e.els.eval(c)
+}
+
+func (q *quantExpr) eval(c *context) (Seq, error) {
+	b, err := q.walk(c, 0)
+	if err != nil {
+		return nil, err
+	}
+	return singleton(b), nil
+}
+
+func (q *quantExpr) walk(c *context, i int) (bool, error) {
+	if i == len(q.names) {
+		v, err := q.sat.eval(c)
+		if err != nil {
+			return false, err
+		}
+		return ebv(v)
+	}
+	src, err := q.srcs[i].eval(c)
+	if err != nil {
+		return false, err
+	}
+	for _, it := range src {
+		b, err := q.walk(c.bind(q.names[i], singleton(it)), i+1)
+		if err != nil {
+			return false, err
+		}
+		if q.every && !b {
+			return false, nil
+		}
+		if !q.every && b {
+			return true, nil
+		}
+	}
+	return q.every, nil
+}
+
+// ---- FLWOR ----------------------------------------------------------------------
+
+func (f *flworExpr) eval(c *context) (Seq, error) {
+	if len(f.order) == 0 {
+		var out Seq
+		err := f.run(c, 0, func(c2 *context) error {
+			v, err := f.ret.eval(c2)
+			if err != nil {
+				return err
+			}
+			out = append(out, v...)
+			return nil
+		})
+		return out, err
+	}
+	type tup struct {
+		c    *context
+		keys []Seq
+	}
+	var tups []tup
+	err := f.run(c, 0, func(c2 *context) error {
+		keys := make([]Seq, len(f.order))
+		for i, o := range f.order {
+			v, err := o.key.eval(c2)
+			if err != nil {
+				return err
+			}
+			keys[i] = atomizeSeq(v)
+		}
+		tups = append(tups, tup{c: c2, keys: keys})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(tups, func(i, j int) bool {
+		for k, o := range f.order {
+			cres, ok := compareOrderKeys(o, tups[i].keys[k], tups[j].keys[k])
+			if !ok || cres == 0 {
+				continue
+			}
+			if o.descending {
+				return cres > 0
+			}
+			return cres < 0
+		}
+		return false
+	})
+	var out Seq
+	for _, t := range tups {
+		v, err := f.ret.eval(t.c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+func compareOrderKeys(o orderSpec, a, b Seq) (int, bool) {
+	ae, be := len(a) == 0, len(b) == 0
+	if ae || be {
+		if ae && be {
+			return 0, true
+		}
+		least := -1
+		if o.emptyGreatest {
+			least = 1
+		}
+		if ae {
+			return least, true
+		}
+		return -least, true
+	}
+	return compareForOrder(a[0], b[0])
+}
+
+func (f *flworExpr) run(c *context, idx int, emit func(*context) error) error {
+	if idx == len(f.clauses) {
+		return emit(c)
+	}
+	cl := f.clauses[idx]
+	switch cl.kind {
+	case clauseLet:
+		v, err := cl.src.eval(c)
+		if err != nil {
+			return err
+		}
+		return f.run(c.bind(cl.name, v), idx+1, emit)
+	case clauseWhere:
+		v, err := cl.src.eval(c)
+		if err != nil {
+			return err
+		}
+		b, err := ebv(v)
+		if err != nil {
+			return err
+		}
+		if !b {
+			return nil
+		}
+		return f.run(c, idx+1, emit)
+	}
+	// for clause
+	v, err := cl.src.eval(c)
+	if err != nil {
+		return err
+	}
+	for i, it := range v {
+		c2 := c.bind(cl.name, singleton(it))
+		if cl.posName != "" {
+			c2 = c2.bind(cl.posName, singleton(float64(i+1)))
+		}
+		if err := f.run(c2, idx+1, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- function calls ---------------------------------------------------------------
+
+func (e *callExpr) eval(c *context) (Seq, error) {
+	args := make([]Seq, len(e.args))
+	for i, a := range e.args {
+		v, err := a.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return e.fn.fn(c, args)
+}
+
+// ---- filters and paths --------------------------------------------------------------
+
+// applyPredicates filters items by each predicate in turn; a predicate
+// evaluating to a single number selects by position, anything else by
+// effective boolean value.
+func applyPredicates(c *context, items Seq, preds []expr) (Seq, error) {
+	for _, pr := range preds {
+		kept := make(Seq, 0, len(items))
+		size := len(items)
+		for i, it := range items {
+			c2 := c.withItem(it, i+1, size)
+			v, err := pr.eval(c2)
+			if err != nil {
+				return nil, err
+			}
+			keep := false
+			if len(v) == 1 {
+				if f, ok := v[0].(float64); ok {
+					keep = float64(i+1) == f
+				} else if keep, err = ebv(v); err != nil {
+					return nil, err
+				}
+			} else if keep, err = ebv(v); err != nil {
+				return nil, err
+			}
+			if keep {
+				kept = append(kept, it)
+			}
+		}
+		items = kept
+	}
+	return items, nil
+}
+
+func (e *filterExpr) eval(c *context) (Seq, error) {
+	v, err := e.base.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	return applyPredicates(c, v, e.preds)
+}
+
+func sortDedupe(items Seq) Seq {
+	ns := make([]*dom.Node, len(items))
+	for i, it := range items {
+		ns[i] = it.(*dom.Node)
+	}
+	return nodesToSeq(core.SortDoc(ns))
+}
+
+func allNodes(items Seq) bool {
+	for _, it := range items {
+		if _, ok := it.(*dom.Node); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *pathExpr) eval(c *context) (Seq, error) {
+	var cur Seq
+	switch {
+	case p.start != nil:
+		v, err := p.start.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		cur = v
+	case p.absolute:
+		cur = Seq{c.st.doc.Root}
+	default:
+		if c.item == nil {
+			return nil, errf("XPDY0002", "context item undefined at start of relative path")
+		}
+		cur = Seq{c.item}
+	}
+	for si, s := range p.steps {
+		var out Seq
+		if s.prim != nil {
+			size := len(cur)
+			for i, it := range cur {
+				c2 := c.withItem(it, i+1, size)
+				v, err := s.prim.eval(c2)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v...)
+			}
+			if allNodes(out) {
+				out = sortDedupe(out)
+			} else if si != len(p.steps)-1 {
+				return nil, errf("XPTY0019", "intermediate path step yields atomic values")
+			}
+			cur = out
+			continue
+		}
+		for _, it := range cur {
+			n, ok := it.(*dom.Node)
+			if !ok {
+				return nil, errf("XPTY0019", "%s:: step applied to an atomic value", s.axis)
+			}
+			nodes := c.st.doc.Eval(s.axis, n)
+			filtered := make(Seq, 0, len(nodes))
+			for _, m := range nodes {
+				match, err := matchTest(c, s.axis, m, s.test)
+				if err != nil {
+					return nil, err
+				}
+				if match {
+					filtered = append(filtered, m)
+				}
+			}
+			filtered, err := applyPredicates(c, filtered, s.preds)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, filtered...)
+		}
+		cur = sortDedupe(out)
+	}
+	return cur, nil
+}
+
+// matchTest applies a node test (Definition 2, plus hierarchy-qualified
+// name tests) to a candidate node.
+func matchTest(c *context, ax core.Axis, n *dom.Node, t nodeTest) (bool, error) {
+	principal := dom.Element
+	if ax == core.AxisAttribute {
+		principal = dom.Attribute
+	}
+	switch t.kind {
+	case testName:
+		if n.Kind != principal || n.Name != t.name {
+			return false, nil
+		}
+		return hierOK(c, n, t.hiers)
+	case testStar:
+		if n.Kind != principal {
+			return false, nil
+		}
+		return hierOK(c, n, t.hiers)
+	case testText:
+		if n.Kind != dom.Text {
+			return false, nil
+		}
+		return hierOK(c, n, t.hiers)
+	case testNode:
+		if len(t.hiers) == 0 {
+			return true, nil
+		}
+		return hierOK(c, n, t.hiers)
+	case testComment:
+		return n.Kind == dom.Comment, nil
+	case testPI:
+		return n.Kind == dom.ProcInst && (t.name == "" || n.Name == t.name), nil
+	case testLeaf:
+		if n.Kind != dom.Leaf {
+			return false, nil
+		}
+		return hierOK(c, n, t.hiers)
+	}
+	return false, nil
+}
+
+// hierOK implements the hierarchy restriction of Definition 2: the node
+// must belong to one of the named hierarchies. The shared root belongs to
+// all hierarchies; a leaf belongs to every hierarchy covering it.
+func hierOK(c *context, n *dom.Node, hiers []string) (bool, error) {
+	if len(hiers) == 0 {
+		return true, nil
+	}
+	d := c.st.doc
+	for _, h := range hiers {
+		if d.HierarchyByName(h) == nil {
+			return false, errf("MHXQ0001", "unknown hierarchy %q in node test", h)
+		}
+	}
+	if n == d.Root {
+		return true, nil
+	}
+	if n.Kind == dom.Leaf {
+		for _, p := range n.LeafParents {
+			for _, h := range hiers {
+				if p.Hier == h {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	}
+	for _, h := range hiers {
+		if n.Hier == h {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ---- constructors ---------------------------------------------------------------------
+
+func (e *elemExpr) eval(c *context) (Seq, error) {
+	el := dom.NewElement(e.name)
+	for _, a := range e.attrs {
+		var b strings.Builder
+		for _, part := range a.parts {
+			if rt, ok := part.(*rawTextExpr); ok {
+				b.WriteString(rt.s)
+				continue
+			}
+			v, err := part.eval(c)
+			if err != nil {
+				return nil, err
+			}
+			for i, it := range v {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(stringValue(atomize(it)))
+			}
+		}
+		el.SetAttr(a.name, b.String())
+	}
+	for _, ce := range e.content {
+		if rt, ok := ce.(*rawTextExpr); ok {
+			addTextTo(el, rt.s)
+			continue
+		}
+		v, err := ce.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		appendContent(el, v)
+	}
+	return singleton(el), nil
+}
+
+// addTextTo appends character data to el, merging with a trailing text
+// node.
+func addTextTo(el *dom.Node, s string) {
+	if s == "" {
+		return
+	}
+	if k := len(el.Children); k > 0 && el.Children[k-1].Kind == dom.Text {
+		el.Children[k-1].Data += s
+		return
+	}
+	el.AppendChild(dom.NewText(s))
+}
+
+// appendContent adds the items of one enclosed expression to a
+// constructed element per the XQuery rules: attribute nodes become
+// attributes, text and leaf nodes merge into character data, other nodes
+// are deep-copied, and adjacent atomic values are joined with single
+// spaces.
+func appendContent(el *dom.Node, v Seq) {
+	prevAtomic := false
+	for _, it := range v {
+		if n, ok := it.(*dom.Node); ok {
+			switch n.Kind {
+			case dom.Attribute:
+				el.SetAttr(n.Name, n.Data)
+			case dom.Text, dom.Leaf:
+				addTextTo(el, n.Data)
+			default:
+				el.AppendChild(n.Clone())
+			}
+			prevAtomic = false
+			continue
+		}
+		if prevAtomic {
+			addTextTo(el, " ")
+		}
+		addTextTo(el, stringValue(it))
+		prevAtomic = true
+	}
+}
+
+// validXMLName reports whether s is a well-formed XML name.
+func validXMLName(s string) bool {
+	name, end, ok := scanXMLName(s, 0)
+	return ok && end == len(s) && name == s
+}
+
+func (e *compCtorExpr) eval(c *context) (Seq, error) {
+	name := e.name
+	if e.nameExpr != nil {
+		v, err := e.nameExpr.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		v = atomizeSeq(v)
+		if len(v) != 1 {
+			return nil, errf("XPTY0004", "computed constructor name must be a single value")
+		}
+		name = stringValue(v[0])
+	}
+	if (e.kind == 'e' || e.kind == 'a') && !validXMLName(name) {
+		return nil, errf("XQDY0074", "computed constructor: invalid name %q", name)
+	}
+	var content Seq
+	if e.content != nil {
+		v, err := e.content.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		content = v
+	}
+	switch e.kind {
+	case 'e':
+		el := dom.NewElement(name)
+		appendContent(el, content)
+		return singleton(el), nil
+	case 'a':
+		return singleton(&dom.Node{Kind: dom.Attribute, Name: name, Data: joinAtomics(content)}), nil
+	case 't':
+		return singleton(dom.NewText(joinAtomics(content))), nil
+	}
+	return singleton(&dom.Node{Kind: dom.Comment, Data: joinAtomics(content)}), nil
+}
+
+// joinAtomics renders a sequence as the space-joined string values of
+// its atomized items.
+func joinAtomics(v Seq) string {
+	var b strings.Builder
+	for i, it := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(stringValue(atomize(it)))
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package xquery_test
+
+import "testing"
+
+func TestStringFunctions(t *testing.T) {
+	runCases(t, []evalCase{
+		{"string node", `string(/descendant::w[1])`, "gesceaftum"},
+		{"string number", `string(1.5)`, "1.5"},
+		{"string bool", `string(true())`, "true"},
+		{"string empty", `string(())`, ""},
+		{"string-length", `string-length("abcd")`, "4"},
+		{"string-length runes", `string-length("þaþa")`, "4"},
+		{"string-length empty", `string-length(())`, "0"},
+		{"normalize-space", `normalize-space("  a   b  ")`, "a b"},
+		{"concat", `concat("a", 1, true())`, "a1true"},
+		{"concat many", `concat("a","b","c","d")`, "abcd"},
+		{"string-join", `string-join(("a","b","c"), "-")`, "a-b-c"},
+		{"string-join nosep", `string-join(("a","b"))`, "ab"},
+		{"string-join nodes", `string-join(/descendant::dmg, "+")`, "w+de þa"},
+		{"upper", `upper-case("moté")`, "MOTÉ"},
+		{"lower", `lower-case("MoTé")`, "moté"},
+		{"translate", `translate("abcabc", "abc", "xy")`, "xyxy"},
+		{"contains", `contains("singallice", "gall")`, "true"},
+		{"contains not", `contains("x", "y")`, "false"},
+		{"starts-with", `starts-with("gesceaftum", "ges")`, "true"},
+		{"ends-with", `ends-with("gesceaftum", "tum")`, "true"},
+		{"substring", `substring("12345", 2, 3)`, "234"},
+		{"substring to end", `substring("12345", 3)`, "345"},
+		{"substring rounding", `substring("12345", 1.5, 2.6)`, "234"},
+		{"substring runes", `substring("þaðe", 2, 2)`, "að"},
+		{"substring-before", `substring-before("a=b", "=")`, "a"},
+		{"substring-before missing", `substring-before("ab", "x")`, ""},
+		{"substring-after", `substring-after("a=b", "=")`, "b"},
+		{"matches", `matches("unawendendne", "una.e")`, "true"},
+		{"matches anchored", `matches("abc", "^abc$")`, "true"},
+		{"matches flags", `matches("ABC", "abc", "i")`, "true"},
+		{"replace", `replace("banana", "an", "X")`, "bXXa"},
+		{"replace groups", `replace("a1b2", "([a-z])([0-9])", "$2$1")`, "1a2b"},
+		{"tokenize", `string-join(tokenize("a b  c", "\s+"), "|")`, "a|b|c"},
+	})
+}
+
+func TestSequenceFunctions(t *testing.T) {
+	runCases(t, []evalCase{
+		{"count", `count((1,2,3))`, "3"},
+		{"count empty", `count(())`, "0"},
+		{"empty", `empty(())`, "true"},
+		{"empty not", `empty(1)`, "false"},
+		{"exists", `exists((1))`, "true"},
+		{"distinct-values", `string-join(distinct-values(("a","b","a")), ",")`, "a,b"},
+		{"distinct numbers vs strings", `count(distinct-values((1, "1")))`, "2"},
+		{"reverse", `string-join(reverse(("a","b","c")), "")`, "cba"},
+		{"subsequence", `string-join(subsequence(("a","b","c","d"), 2, 2), "")`, "bc"},
+		{"subsequence to end", `string-join(subsequence(("a","b","c"), 2), "")`, "bc"},
+		{"index-of", `index-of((10, 20, 10), 10)`, "1 3"},
+		{"index-of none", `count(index-of((1,2), 5))`, "0"},
+		{"insert-before", `string-join(insert-before(("a","c"), 2, "b"), "")`, "abc"},
+		{"remove", `string-join(remove(("a","b","c"), 2), "")`, "ac"},
+		{"position in predicate", `string-join((10,20,30)[position() > 1]/string(.), ",")`, "20,30"},
+	})
+}
+
+func TestNumericFunctions(t *testing.T) {
+	runCases(t, []evalCase{
+		{"number", `number("3.5")`, "3.5"},
+		{"number bad", `number("zz")`, "NaN"},
+		{"number bool", `number(true())`, "1"},
+		{"sum", `sum((1,2,3))`, "6"},
+		{"sum empty", `sum(())`, "0"},
+		{"avg", `avg((1,2,3))`, "2"},
+		{"avg empty", `count(avg(()))`, "0"},
+		{"min", `min((3,1,2))`, "1"},
+		{"max", `max((3,1,2))`, "3"},
+		{"min strings", `min(("pear","apple"))`, "apple"},
+		{"max strings", `max(("pear","apple"))`, "pear"},
+		{"floor", `floor(1.7)`, "1"},
+		{"ceiling", `ceiling(1.2)`, "2"},
+		{"round", `round(2.5)`, "3"},
+		{"round negative", `round(-2.5)`, "-2"},
+		{"abs", `abs(-4)`, "4"},
+	})
+}
+
+func TestNodeFunctions(t *testing.T) {
+	runCases(t, []evalCase{
+		{"name", `name(/descendant::w[1])`, "w"},
+		{"name empty", `name(())`, ""},
+		{"local-name", `local-name(/descendant::w[1])`, "w"},
+		{"root", `name(root(/descendant::w[1]))`, "r"},
+		{"data", `string-join(data(/descendant::dmg), "/")`, "w/de þa"},
+		{"deep-equal same", `deep-equal(<a>x</a>, <a>x</a>)`, "true"},
+		{"deep-equal diff", `deep-equal(<a>x</a>, <a>y</a>)`, "false"},
+		{"deep-equal atoms", `deep-equal((1, "a"), (1, "a"))`, "true"},
+		{"deep-equal len", `deep-equal((1, 2), (1))`, "false"},
+		{"serialize", `serialize(<a k="1">x</a>)`, `<a k="1">x</a>`},
+	})
+}
+
+func TestExtensionFunctions(t *testing.T) {
+	runCases(t, []evalCase{
+		{"hierarchy", `hierarchy(/descendant::dmg[1])`, "damage"},
+		{"hierarchy prefixed", `mh:hierarchy(/descendant::w[1])`, "structure"},
+		{"hierarchy of leaf", `string-join(hierarchy(/descendant::leaf()[4]), ",")`,
+			"physical,structure,restoration,damage"},
+		{"hierarchies", `string-join(hierarchies(), ",")`, "physical,structure,restoration,damage"},
+		{"leaves", `count(leaves(/descendant::w[2]))`, "3"},
+		{"leaves of root", `count(leaves(/))`, "16"},
+		{"base-text", `base-text()`, "gesceaftum unawendendne singallice sibbe gecynde þa"},
+		{"span", `concat(span-start(/descendant::w[2]), "-", span-end(/descendant::w[2]))`, "11-23"},
+		{"fn prefix accepted", `fn:count((1,2))`, "2"},
+	})
+}

@@ -1,0 +1,365 @@
+package xquery
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Token kinds. The lexer is context-free: '*' is always tStar, '<' always
+// tLt, and keywords are plain tName tokens; the parser disambiguates by
+// position (the standard approach for XQuery's context-sensitive grammar).
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tName
+	tVar
+	tString
+	tNumber
+	tLParen
+	tRParen
+	tLBracket
+	tRBracket
+	tLBrace
+	tRBrace
+	tComma
+	tSlash
+	tSlashSlash
+	tColonColon
+	tAt
+	tDot
+	tDotDot
+	tStar
+	tPlus
+	tMinus
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tLtLt
+	tGtGt
+	tPipe
+	tAssign
+)
+
+type token struct {
+	kind       tokKind
+	text       string
+	num        float64
+	start, end int
+}
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of query"
+	case tName:
+		return "name"
+	case tVar:
+		return "variable"
+	case tString:
+		return "string literal"
+	case tNumber:
+		return "number"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tLBracket:
+		return "'['"
+	case tRBracket:
+		return "']'"
+	case tLBrace:
+		return "'{'"
+	case tRBrace:
+		return "'}'"
+	case tComma:
+		return "','"
+	case tSlash:
+		return "'/'"
+	case tSlashSlash:
+		return "'//'"
+	case tColonColon:
+		return "'::'"
+	case tAt:
+		return "'@'"
+	case tDot:
+		return "'.'"
+	case tDotDot:
+		return "'..'"
+	case tStar:
+		return "'*'"
+	case tPlus:
+		return "'+'"
+	case tMinus:
+		return "'-'"
+	case tEq:
+		return "'='"
+	case tNe:
+		return "'!='"
+	case tLt:
+		return "'<'"
+	case tLe:
+		return "'<='"
+	case tGt:
+		return "'>'"
+	case tGe:
+		return "'>='"
+	case tLtLt:
+		return "'<<'"
+	case tGtGt:
+		return "'>>'"
+	case tPipe:
+		return "'|'"
+	case tAssign:
+		return "':='"
+	}
+	return "token?"
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+// lexPanic carries a compilation error through the recursive-descent
+// parser; Compile recovers it.
+type lexPanic struct{ err error }
+
+func lexErr(pos int, format string, args ...any) {
+	panic(lexPanic{errf("XPST0003", "at offset %d: "+format, append([]any{pos}, args...)...)})
+}
+
+func nameStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+
+func nameChar(r rune) bool {
+	return nameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}
+
+// skipSpace consumes whitespace and (possibly nested) XQuery comments.
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		case '(':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+				l.skipComment()
+				continue
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipComment() {
+	start := l.pos
+	depth := 0
+	for l.pos < len(l.src) {
+		if strings.HasPrefix(l.src[l.pos:], "(:") {
+			depth++
+			l.pos += 2
+			continue
+		}
+		if strings.HasPrefix(l.src[l.pos:], ":)") {
+			depth--
+			l.pos += 2
+			if depth == 0 {
+				return
+			}
+			continue
+		}
+		l.pos++
+	}
+	lexErr(start, "unterminated comment")
+}
+
+// scanNCName scans an NCName at pos, returning it and the end position,
+// or ok=false if pos does not start a name.
+func scanNCName(src string, pos int) (string, int, bool) {
+	r, sz := utf8.DecodeRuneInString(src[pos:])
+	if sz == 0 || !nameStart(r) {
+		return "", pos, false
+	}
+	end := pos + sz
+	for end < len(src) {
+		r, sz = utf8.DecodeRuneInString(src[end:])
+		if !nameChar(r) {
+			break
+		}
+		end += sz
+	}
+	return src[pos:end], end, true
+}
+
+// next scans one token. Prefixed names ("fn:string") are scanned as a
+// single tName; "::" is never consumed as part of a name.
+func (l *lexer) next() token {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, start: start, end: start}
+	}
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	mk := func(k tokKind, n int) token {
+		l.pos += n
+		return token{kind: k, text: l.src[start:l.pos], start: start, end: l.pos}
+	}
+	switch {
+	case two == "//":
+		return mk(tSlashSlash, 2)
+	case two == "::":
+		return mk(tColonColon, 2)
+	case two == "!=":
+		return mk(tNe, 2)
+	case two == "<=":
+		return mk(tLe, 2)
+	case two == ">=":
+		return mk(tGe, 2)
+	case two == "<<":
+		return mk(tLtLt, 2)
+	case two == ">>":
+		return mk(tGtGt, 2)
+	case two == ":=":
+		return mk(tAssign, 2)
+	}
+	switch c {
+	case '(':
+		return mk(tLParen, 1)
+	case ')':
+		return mk(tRParen, 1)
+	case '[':
+		return mk(tLBracket, 1)
+	case ']':
+		return mk(tRBracket, 1)
+	case '{':
+		return mk(tLBrace, 1)
+	case '}':
+		return mk(tRBrace, 1)
+	case ',':
+		return mk(tComma, 1)
+	case '/':
+		return mk(tSlash, 1)
+	case '@':
+		return mk(tAt, 1)
+	case '*':
+		return mk(tStar, 1)
+	case '+':
+		return mk(tPlus, 1)
+	case '-':
+		return mk(tMinus, 1)
+	case '=':
+		return mk(tEq, 1)
+	case '<':
+		return mk(tLt, 1)
+	case '>':
+		return mk(tGt, 1)
+	case '|':
+		return mk(tPipe, 1)
+	case '$':
+		name, end, ok := scanNCName(l.src, l.pos+1)
+		if !ok {
+			lexErr(start, "expected variable name after '$'")
+		}
+		// Allow one prefix colon in variable names.
+		if end < len(l.src) && l.src[end] == ':' && !strings.HasPrefix(l.src[end:], "::") {
+			if rest, e2, ok2 := scanNCName(l.src, end+1); ok2 {
+				name, end = name+":"+rest, e2
+			}
+		}
+		l.pos = end
+		return token{kind: tVar, text: name, start: start, end: end}
+	case '"', '\'':
+		return l.scanString(c)
+	case '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			return mk(tDotDot, 2)
+		}
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			return l.scanNumber()
+		}
+		return mk(tDot, 1)
+	}
+	if c >= '0' && c <= '9' {
+		return l.scanNumber()
+	}
+	if name, end, ok := scanNCName(l.src, l.pos); ok {
+		// Optional prefix: "fn:string" — but never eat "::".
+		if end < len(l.src) && l.src[end] == ':' && !strings.HasPrefix(l.src[end:], "::") {
+			if rest, e2, ok2 := scanNCName(l.src, end+1); ok2 {
+				name, end = name+":"+rest, e2
+			}
+		}
+		l.pos = end
+		return token{kind: tName, text: name, start: start, end: end}
+	}
+	lexErr(start, "unexpected character %q", rune(c))
+	return token{}
+}
+
+func (l *lexer) scanString(quote byte) token {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			// Doubled quote is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tString, text: b.String(), start: start, end: l.pos}
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	lexErr(start, "unterminated string literal")
+	return token{}
+}
+
+func (l *lexer) scanNumber() token {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	// Exponent part (1e3, 1.5E-2).
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := l.src[start:l.pos]
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		lexErr(start, "malformed number %q", text)
+	}
+	return token{kind: tNumber, text: text, num: f, start: start, end: l.pos}
+}

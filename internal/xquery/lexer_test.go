@@ -1,0 +1,149 @@
+package xquery
+
+import (
+	"reflect"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	var out []token
+	defer func() {
+		if r := recover(); r != nil {
+			if lp, ok := r.(lexPanic); ok {
+				t.Fatalf("lex %q: %v", src, lp.err)
+			}
+			panic(r)
+		}
+	}()
+	l := &lexer{src: src}
+	for {
+		tok := l.next()
+		if tok.kind == tEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func kinds(toks []token) []tokKind {
+	out := make([]tokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexerBasicTokens(t *testing.T) {
+	toks := lexAll(t, `for $x in /descendant::w[. = 'y'] return count($x) + 1.5`)
+	want := []tokKind{
+		tName, tVar, tName, tSlash, tName, tColonColon, tName, tLBracket,
+		tDot, tEq, tString, tRBracket, tName, tName, tLParen, tVar,
+		tRParen, tPlus, tNumber,
+	}
+	if !reflect.DeepEqual(kinds(toks), want) {
+		t.Errorf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestLexerTwoCharOperators(t *testing.T) {
+	toks := lexAll(t, `// :: != <= >= << >> :=`)
+	want := []tokKind{tSlashSlash, tColonColon, tNe, tLe, tGe, tLtLt, tGtGt, tAssign}
+	if !reflect.DeepEqual(kinds(toks), want) {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestLexerNames(t *testing.T) {
+	toks := lexAll(t, `analyze-string preceding-overlapping fn:string a.b _x`)
+	if len(toks) != 5 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	wantTexts := []string{"analyze-string", "preceding-overlapping", "fn:string", "a.b", "_x"}
+	for i, w := range wantTexts {
+		if toks[i].kind != tName || toks[i].text != w {
+			t.Errorf("token %d = %v %q, want name %q", i, toks[i].kind, toks[i].text, w)
+		}
+	}
+	// "child::x" must not eat the '::'.
+	toks = lexAll(t, `child::x`)
+	if len(toks) != 3 || toks[0].text != "child" || toks[1].kind != tColonColon || toks[2].text != "x" {
+		t.Errorf("child::x = %v", toks)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks := lexAll(t, `1 2.5 .75 1e3 1.5E-2 3.`)
+	wantNums := []float64{1, 2.5, 0.75, 1000, 0.015, 3}
+	if len(toks) != len(wantNums) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i, w := range wantNums {
+		if toks[i].kind != tNumber || toks[i].num != w {
+			t.Errorf("num %d = %v %v, want %v", i, toks[i].kind, toks[i].num, w)
+		}
+	}
+	// '.' then non-digit is a dot token; "1e" without exponent digits
+	// falls back to "1" followed by name "e".
+	toks = lexAll(t, `1e .`)
+	if toks[0].kind != tNumber || toks[0].num != 1 || toks[1].kind != tName || toks[2].kind != tDot {
+		t.Errorf("fallback = %v", toks)
+	}
+}
+
+func TestLexerStrings(t *testing.T) {
+	toks := lexAll(t, `"a""b" 'c''d' ""`)
+	wantTexts := []string{`a"b`, "c'd", ""}
+	for i, w := range wantTexts {
+		if toks[i].kind != tString || toks[i].text != w {
+			t.Errorf("string %d = %q", i, toks[i].text)
+		}
+	}
+}
+
+func TestLexerVariables(t *testing.T) {
+	toks := lexAll(t, `$x $long-name $ns:v`)
+	wantTexts := []string{"x", "long-name", "ns:v"}
+	for i, w := range wantTexts {
+		if toks[i].kind != tVar || toks[i].text != w {
+			t.Errorf("var %d = %q", i, toks[i].text)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks := lexAll(t, `1 (: outer (: inner :) still :) 2`)
+	if len(toks) != 2 || toks[0].num != 1 || toks[1].num != 2 {
+		t.Errorf("comment handling = %v", toks)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `$`, `#`, `(: open`} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("lex %q should panic", src)
+				}
+			}()
+			l := &lexer{src: src}
+			for {
+				if l.next().kind == tEOF {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	all := []tokKind{tEOF, tName, tVar, tString, tNumber, tLParen, tRParen,
+		tLBracket, tRBracket, tLBrace, tRBrace, tComma, tSlash, tSlashSlash,
+		tColonColon, tAt, tDot, tDotDot, tStar, tPlus, tMinus, tEq, tNe,
+		tLt, tLe, tGt, tGe, tLtLt, tGtGt, tPipe, tAssign}
+	for _, k := range all {
+		if k.String() == "token?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package xquery_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mhxquery/internal/corpus"
+	"mhxquery/internal/xquery"
+)
+
+// TestQuickCompileNeverPanics feeds random byte soup and random
+// token-ish soup to the compiler: it must return an error or a query,
+// never panic.
+func TestQuickCompileNeverPanics(t *testing.T) {
+	tokens := []string{
+		"for", "$x", "in", "return", "let", ":=", "if", "then", "else",
+		"(", ")", "[", "]", "{", "}", "/", "//", "::", "child", "xancestor",
+		"overlapping", "*", "@", ",", "|", "and", "or", "1", "2.5", `"s"`,
+		"'t'", "<a>", "</a>", "<br/>", "analyze-string", "text()", "leaf()",
+		"..", ".", "+", "-", "=", "!=", "<", "<=", "order", "by", "some",
+		"satisfies", "to", "div", "element", "attribute",
+	}
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: compile panicked: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		// Token soup.
+		n := r.Intn(30)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += tokens[r.Intn(len(tokens))] + " "
+		}
+		_, _ = xquery.Compile(src)
+		// Byte soup.
+		raw := make([]byte, r.Intn(60))
+		for i := range raw {
+			raw[i] = byte(r.Intn(256))
+		}
+		_, _ = xquery.Compile(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEvalNeverPanics evaluates every token-soup query that happens
+// to compile: evaluation must return a value or an error, never panic.
+func TestQuickEvalNeverPanics(t *testing.T) {
+	d := corpus.MustBoethius()
+	tokens := []string{
+		"for $x in /descendant::w ", "return ", "string($x) ", "count(/descendant::leaf()) ",
+		"if (", ") then ", "else ", "1 ", "(", ")", ",", "analyze-string(/descendant::w[1], \"e\") ",
+		"/descendant::line ", "[", "]", "overlapping::w ", "xancestor::dmg ",
+		"$x ", "+ ", "= ", "<b>{", "}</b> ", "position() ", "last() ",
+	}
+	f := func(seed int64) (ok bool) {
+		var src string
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: eval panicked on %q: %v", seed, src, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			src += tokens[r.Intn(len(tokens))]
+		}
+		q, err := xquery.Compile(src)
+		if err != nil {
+			return true
+		}
+		_, _ = q.Eval(d)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Error(err)
+	}
+}

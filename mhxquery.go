@@ -1,0 +1,366 @@
+// Package mhxquery is a Go implementation of "Multihierarchical XQuery
+// for Document-Centric XML" (Iacob & Dekhtyar, SIGMOD 2006).
+//
+// It manages documents annotated with several concurrent — possibly
+// overlapping — markup hierarchies over the same base text, stores them
+// in a KyGODDAG (the paper's generalization of the DOM tree), and
+// queries them with an extended XQuery whose path language adds the
+// multihierarchical axes xancestor, xdescendant, xfollowing, xpreceding,
+// preceding-overlapping, following-overlapping and overlapping, the
+// hierarchy-qualified node tests text(H), node(H), *(H) and leaf(), and
+// the analyze-string function that materializes regular-expression
+// matches as a temporary markup hierarchy.
+//
+// Quick start:
+//
+//	doc, err := mhxquery.Parse(
+//	    mhxquery.Hierarchy{Name: "pages", XML: `<r><page>Hello wo</page><page>rld</page></r>`},
+//	    mhxquery.Hierarchy{Name: "words", XML: `<r><w>Hello</w> <w>world</w></r>`},
+//	)
+//	// Which words are split across a page boundary?
+//	out, err := doc.QueryString(`for $w in /descendant::w[overlapping::page] return string($w)`)
+package mhxquery
+
+import (
+	"fmt"
+	"io"
+
+	"mhxquery/internal/cmh"
+	"mhxquery/internal/core"
+	"mhxquery/internal/dom"
+	"mhxquery/internal/store"
+	"mhxquery/internal/xmlparse"
+	"mhxquery/internal/xquery"
+)
+
+// Hierarchy names one markup hierarchy and its XML encoding. All
+// hierarchies of a document must share the same root element name,
+// encode exactly the same text content, and use pairwise-disjoint
+// element vocabularies (the CMH conditions of the paper's Section 3).
+type Hierarchy struct {
+	Name string
+	XML  string
+	// DTD, when non-empty, holds <!ELEMENT>/<!ATTLIST> declarations the
+	// encoding must be valid against (content models are checked with
+	// Brzozowski derivatives; see internal/cmh).
+	DTD string
+}
+
+// Document is a parsed multihierarchical document, stored as a KyGODDAG.
+// A Document is immutable and safe for concurrent use.
+type Document struct {
+	g *core.Document
+}
+
+// Parse parses each hierarchy encoding and builds the KyGODDAG.
+func Parse(hierarchies ...Hierarchy) (*Document, error) {
+	if len(hierarchies) == 0 {
+		return nil, fmt.Errorf("mhxquery: no hierarchies given")
+	}
+	trees := make([]core.NamedTree, len(hierarchies))
+	for i, h := range hierarchies {
+		root, err := xmlparse.Parse(h.XML, xmlparse.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("mhxquery: hierarchy %q: %w", h.Name, err)
+		}
+		if h.DTD != "" {
+			dtd, err := cmh.ParseDTD(h.DTD)
+			if err != nil {
+				return nil, fmt.Errorf("mhxquery: hierarchy %q: %w", h.Name, err)
+			}
+			if errs := dtd.Validate(root); len(errs) > 0 {
+				return nil, fmt.Errorf("mhxquery: hierarchy %q is invalid: %w (and %d more)",
+					h.Name, errs[0], len(errs)-1)
+			}
+		}
+		trees[i] = core.NamedTree{Name: h.Name, Root: root}
+	}
+	g, err := core.Build(trees)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{g: g}, nil
+}
+
+// Text returns the base text S shared by all hierarchies.
+func (d *Document) Text() string { return d.g.Text }
+
+// Hierarchies returns the hierarchy names in document order.
+func (d *Document) Hierarchies() []string { return d.g.HierarchyNames() }
+
+// Stats summarizes the KyGODDAG's composition.
+type Stats struct {
+	Hierarchies int
+	Elements    int
+	Texts       int
+	Leaves      int
+	LeafEdges   int
+	TreeEdges   int
+}
+
+// Stats computes composition statistics (hierarchies, element/text/leaf
+// node counts, edge counts).
+func (d *Document) Stats() Stats {
+	s := d.g.Stats()
+	return Stats{
+		Hierarchies: s.Hierarchies,
+		Elements:    s.Elements,
+		Texts:       s.Texts,
+		Leaves:      s.Leaves,
+		LeafEdges:   s.LeafEdges,
+		TreeEdges:   s.TreeEdges,
+	}
+}
+
+// DOT renders the KyGODDAG as a Graphviz digraph (the paper's Figure 2).
+func (d *Document) DOT() string { return d.g.DOT() }
+
+// LeafTable renders the leaf partition as a text table.
+func (d *Document) LeafTable() string { return d.g.LeafTable() }
+
+// SerializeHierarchy re-serializes one hierarchy back to XML.
+func (d *Document) SerializeHierarchy(name string) (string, error) {
+	return d.g.Serialize(name)
+}
+
+// Save writes a compact binary image of the document (base text stored
+// once, markup structure with interned names). Read it back with
+// ReadDocument.
+func (d *Document) Save(w io.Writer) error { return store.Encode(w, d.g) }
+
+// ReadDocument loads a document from a binary image produced by Save.
+// The document is revalidated and fully re-indexed.
+func ReadDocument(r io.Reader) (*Document, error) {
+	g, err := store.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{g: g}, nil
+}
+
+// Leaves returns the leaf layer in text order.
+func (d *Document) Leaves() []Node {
+	out := make([]Node, len(d.g.Leaves))
+	for i, l := range d.g.Leaves {
+		out[i] = Node{n: l, d: d.g}
+	}
+	return out
+}
+
+// Select evaluates a path expression (the paper's extended path language
+// of Definitions 1–2, a strict subset of the query language) and returns
+// the selected nodes in the Definition 3 document order. It errors if
+// the expression yields non-node items.
+func (d *Document) Select(path string) ([]Node, error) {
+	res, err := d.Query(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Node, res.Len())
+	for i := 0; i < res.Len(); i++ {
+		v := res.Item(i)
+		if !v.IsNode() {
+			return nil, fmt.Errorf("mhxquery: Select: item %d is not a node", i+1)
+		}
+		out[i] = *v.Node()
+	}
+	return out, nil
+}
+
+// Query compiles and evaluates an extended-XQuery expression against the
+// document.
+func (d *Document) Query(src string) (Sequence, error) {
+	q, err := Compile(src)
+	if err != nil {
+		return Sequence{}, err
+	}
+	return q.Eval(d)
+}
+
+// QueryString is Query followed by XML serialization of the result, the
+// way the paper prints query outputs.
+func (d *Document) QueryString(src string) (string, error) {
+	res, err := d.Query(src)
+	if err != nil {
+		return "", err
+	}
+	return res.String(), nil
+}
+
+// Query is a compiled extended-XQuery expression, reusable across
+// documents and safe for concurrent evaluation.
+type Query struct {
+	q *xquery.Query
+}
+
+// Compile parses an extended-XQuery expression.
+func Compile(src string) (*Query, error) {
+	q, err := xquery.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// MustCompile is Compile panicking on error.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Source returns the query text.
+func (q *Query) Source() string { return q.q.Source() }
+
+// Eval evaluates the query. Temporary hierarchies created by
+// analyze-string are private to the evaluation; the document is never
+// mutated.
+func (q *Query) Eval(d *Document) (Sequence, error) {
+	s, err := q.q.Eval(d.g)
+	if err != nil {
+		return Sequence{}, err
+	}
+	return Sequence{s: s, d: d.g}, nil
+}
+
+// EvalWith evaluates the query with externally bound variables.
+// Supported value types: string, bool, float64, int, []string, and
+// slices of any of those.
+func (q *Query) EvalWith(d *Document, vars map[string]any) (Sequence, error) {
+	conv := make(map[string]xquery.Seq, len(vars))
+	for name, v := range vars {
+		seq, err := toSeq(v)
+		if err != nil {
+			return Sequence{}, fmt.Errorf("mhxquery: variable $%s: %w", name, err)
+		}
+		conv[name] = seq
+	}
+	s, err := q.q.EvalWithVars(d.g, conv)
+	if err != nil {
+		return Sequence{}, err
+	}
+	return Sequence{s: s, d: d.g}, nil
+}
+
+func toSeq(v any) (xquery.Seq, error) {
+	switch x := v.(type) {
+	case string:
+		return xquery.Seq{x}, nil
+	case bool:
+		return xquery.Seq{x}, nil
+	case float64:
+		return xquery.Seq{x}, nil
+	case int:
+		return xquery.Seq{float64(x)}, nil
+	case []string:
+		out := make(xquery.Seq, len(x))
+		for i, s := range x {
+			out[i] = s
+		}
+		return out, nil
+	case []any:
+		var out xquery.Seq
+		for _, e := range x {
+			s, err := toSeq(e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unsupported value type %T", v)
+}
+
+// Sequence is a query result.
+type Sequence struct {
+	s xquery.Seq
+	d *core.Document
+}
+
+// Len returns the number of items.
+func (s Sequence) Len() int { return len(s.s) }
+
+// String serializes the sequence as the paper prints results: nodes as
+// XML, atomic values as text, one space between adjacent atomic items.
+func (s Sequence) String() string { return xquery.Serialize(s.s) }
+
+// Text serializes the sequence as plain text (string values, no markup).
+func (s Sequence) Text() string { return xquery.SerializeText(s.s) }
+
+// Item returns the i-th item as a Value.
+func (s Sequence) Item(i int) Value {
+	it := s.s[i]
+	if n, ok := it.(*dom.Node); ok {
+		return Value{node: &Node{n: n, d: s.d}}
+	}
+	return Value{atom: it}
+}
+
+// Strings returns the string value of every item.
+func (s Sequence) Strings() []string {
+	out := make([]string, len(s.s))
+	for i := range s.s {
+		out[i] = s.Item(i).Text()
+	}
+	return out
+}
+
+// Value is one result item: either a node or an atomic value.
+type Value struct {
+	node *Node
+	atom any
+}
+
+// IsNode reports whether the value is a node.
+func (v Value) IsNode() bool { return v.node != nil }
+
+// Node returns the node, or nil for atomic values.
+func (v Value) Node() *Node { return v.node }
+
+// Text returns the string value.
+func (v Value) Text() string {
+	if v.node != nil {
+		return v.node.Text()
+	}
+	switch a := v.atom.(type) {
+	case string:
+		return a
+	case bool:
+		if a {
+			return "true"
+		}
+		return "false"
+	}
+	return fmt.Sprint(v.atom)
+}
+
+// Node is a read-only view of a KyGODDAG or result-tree node.
+type Node struct {
+	n *dom.Node
+	d *core.Document
+}
+
+// Kind returns the node kind name ("element", "text", "leaf", ...).
+func (n *Node) Kind() string { return n.n.Kind.String() }
+
+// Name returns the element/attribute name ("" for text and leaves).
+func (n *Node) Name() string { return n.n.Name }
+
+// Text returns the node's string value.
+func (n *Node) Text() string { return n.n.TextContent() }
+
+// Hierarchy returns the markup hierarchy the node belongs to ("" for the
+// shared root, leaves and constructed nodes).
+func (n *Node) Hierarchy() string { return n.n.Hier }
+
+// Span returns the node's byte span of the base text.
+func (n *Node) Span() (start, end int) { return n.n.Start, n.n.End }
+
+// Attr returns the value of the named attribute.
+func (n *Node) Attr(name string) (string, bool) { return n.n.Attr(name) }
+
+// XML serializes the node.
+func (n *Node) XML() string { return dom.XML(n.n) }
