@@ -17,14 +17,18 @@
 //	P3  BenchmarkDamagedWords*           — KyGODDAG vs fragmentation vs milestones
 //	P4  BenchmarkAnalyzeStringScaling/*  — temp-hierarchy overlay cost
 //	P5  BenchmarkParseThroughput/*       — document-centric parse throughput
+//	P7  BenchmarkCollectionFanOut/*      — sequential vs parallel corpus fan-out
+//	P8  BenchmarkCompileCache/*          — cold compile vs LRU cache hit
 package mhxquery_test
 
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"testing"
 
 	"mhxquery"
+	"mhxquery/internal/collection"
 	"mhxquery/internal/core"
 	"mhxquery/internal/corpus"
 	"mhxquery/internal/fragment"
@@ -372,6 +376,102 @@ func BenchmarkStoreReparse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- P7: collection fan-out, sequential vs parallel ---------------------------
+
+// collectionFixture builds a corpus of nDocs generated documents.
+func collectionFixture(b *testing.B, nDocs, workers int) *mhxquery.Collection {
+	b.Helper()
+	c := mhxquery.NewCollection(mhxquery.CollectionOptions{Workers: workers})
+	for i := 0; i < nDocs; i++ {
+		g := corpus.Generate(corpus.Params{Seed: uint64(i + 1), Words: 400, DamageRate: 0.12})
+		names := make([]string, 0, len(g.XML))
+		for name := range g.XML {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		hs := make([]mhxquery.Hierarchy, len(names))
+		for j, name := range names {
+			hs[j] = mhxquery.Hierarchy{Name: name, XML: g.XML[name]}
+		}
+		d, err := mhxquery.Parse(hs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Put(fmt.Sprintf("doc%02d", i), d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// fanOutQuery is Query I.2's damaged-word selection, a representative
+// multihierarchical workload (tree + extended axes per word).
+const fanOutQuery = `count(/descendant::w[xancestor::dmg or xdescendant::dmg or overlapping::dmg])`
+
+// BenchmarkCollectionFanOut compares sequential evaluation against the
+// bounded worker pool. The speedup tracks the machine's core count: on
+// a single-core host the two modes coincide (the pool adds only
+// scheduling overhead), on an N-core host the parallel mode approaches
+// min(N, docs, workers)×.
+func BenchmarkCollectionFanOut(b *testing.B) {
+	for _, nDocs := range []int{1, 4, 16} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"sequential", 1}, {"parallel", 4}} {
+			b.Run(fmt.Sprintf("docs=%d/%s", nDocs, mode.name), func(b *testing.B) {
+				c := collectionFixture(b, nDocs, mode.workers)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					results, err := c.QueryAll(fanOutQuery)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(results) != nDocs {
+						b.Fatalf("got %d results, want %d", len(results), nDocs)
+					}
+					for _, r := range results {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---- P8: compiled-query cache, cold compile vs LRU hit ------------------------
+
+func BenchmarkCompileCache(b *testing.B) {
+	src := `for $l in /descendant::line[xdescendant::w[xancestor::dmg or xdescendant::dmg or overlapping::dmg]]
+return ( for $leaf in $l/descendant::leaf() return
+   if ($leaf[ancestor::w and ancestor::dmg]) then <b>{$leaf}</b> else $leaf
+ , <br/> )`
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := xquery.Compile(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		c := collection.New(collection.Options{})
+		if _, err := c.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Compile(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkStoreEncode(b *testing.B) {

@@ -1,0 +1,335 @@
+// Command mhserve serves a collection of multihierarchical documents
+// over HTTP: ingest document hierarchies, list the corpus, and evaluate
+// extended-XQuery expressions against one document or fanned out across
+// the whole collection.
+//
+// Usage:
+//
+//	mhserve [-addr :8080] [-dir corpus/] [-workers N] [-cache N] [-boethius]
+//
+// With -dir the corpus directory is loaded at startup and every ingest
+// writes through to it (one compact binary image per document), so a
+// restart recovers the full corpus. With -boethius the paper's Figure 1
+// fixture is preloaded under the name "boethius".
+//
+// Endpoints (all JSON):
+//
+//	GET    /healthz      liveness + corpus size
+//	GET    /docs         list documents with stats
+//	PUT    /docs/{name}  ingest {"hierarchies":[{"name":..,"xml":..,"dtd":..}]}
+//	GET    /docs/{name}  one document's stats
+//	DELETE /docs/{name}  remove a document
+//	POST   /query        {"query":.., "doc":"name" | "collection":"glob", "format":"xml"|"text"}
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mhxquery"
+	"mhxquery/internal/corpus"
+)
+
+// maxBodyBytes bounds ingest and query request bodies.
+const maxBodyBytes = 32 << 20
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "corpus directory (loaded at startup, written through on ingest; empty = memory-only)")
+	workers := flag.Int("workers", 0, "fan-out worker pool size (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "compiled-query cache entries (0 = 128, negative = disabled)")
+	boethius := flag.Bool("boethius", false, "preload the paper's Figure 1 fixture as \"boethius\"")
+	flag.Parse()
+
+	coll, err := openCollection(*dir, *workers, *cache, *boethius)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhserve:", err)
+		os.Exit(1)
+	}
+	s := &server{coll: coll}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.routes(),
+		// Coarse bounds so slow or stalled clients cannot pin
+		// goroutines and file descriptors indefinitely.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("mhserve: listening on %s (%d documents)", *addr, coll.Len())
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "mhserve:", err)
+		os.Exit(1)
+	}
+}
+
+func openCollection(dir string, workers, cache int, boethius bool) (*mhxquery.Collection, error) {
+	opts := mhxquery.CollectionOptions{Workers: workers, CacheSize: cache}
+	var (
+		coll *mhxquery.Collection
+		err  error
+	)
+	if dir != "" {
+		coll, err = mhxquery.OpenCollection(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		coll = mhxquery.NewCollection(opts)
+	}
+	if boethius {
+		xml := corpus.BoethiusXML()
+		var hs []mhxquery.Hierarchy
+		for _, name := range corpus.BoethiusHierarchies() {
+			hs = append(hs, mhxquery.Hierarchy{Name: name, XML: xml[name]})
+		}
+		d, err := mhxquery.Parse(hs...)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := coll.Put("boethius", d); err != nil {
+			return nil, err
+		}
+	}
+	return coll, nil
+}
+
+// server is the HTTP layer over a document collection.
+type server struct {
+	coll *mhxquery.Collection
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /docs", s.handleListDocs)
+	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
+	mux.HandleFunc("GET /docs/{name}", s.handleGetDoc)
+	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	return mux
+}
+
+// ---- JSON wire types -------------------------------------------------------
+
+type hierarchyJSON struct {
+	Name string `json:"name"`
+	XML  string `json:"xml"`
+	DTD  string `json:"dtd,omitempty"`
+}
+
+type putDocRequest struct {
+	Hierarchies []hierarchyJSON `json:"hierarchies"`
+}
+
+type docInfo struct {
+	Name        string         `json:"name"`
+	Hierarchies []string       `json:"hierarchies"`
+	TextBytes   int            `json:"text_bytes"`
+	Stats       mhxquery.Stats `json:"stats"`
+}
+
+type queryRequest struct {
+	// Query is the extended-XQuery source.
+	Query string `json:"query"`
+	// Doc targets a single document by name. Empty = collection-wide.
+	Doc string `json:"doc,omitempty"`
+	// Collection restricts a collection-wide query to names matching
+	// this glob. Ignored when Doc is set.
+	Collection string `json:"collection,omitempty"`
+	// Format selects result serialization: "xml" (default) or "text".
+	Format string `json:"format,omitempty"`
+}
+
+type queryResult struct {
+	Doc string `json:"doc"`
+	// Result is always present on success (even when empty), so clients
+	// can distinguish an empty result from an errored row.
+	Result *string `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+type queryResponse struct {
+	Results []queryResult `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("mhserve: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+// ---- handlers --------------------------------------------------------------
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "docs": s.coll.Len()})
+}
+
+func (s *server) info(name string, d *mhxquery.Document) docInfo {
+	return docInfo{
+		Name:        name,
+		Hierarchies: d.Hierarchies(),
+		TextBytes:   len(d.Text()),
+		Stats:       d.Stats(),
+	}
+}
+
+func (s *server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	infos := []docInfo{} // never null in the JSON, even when empty
+	for _, name := range s.coll.Names() {
+		if d, ok := s.coll.Get(name); ok {
+			infos = append(infos, s.info(name, d))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"docs": infos, "count": len(infos)})
+}
+
+func (s *server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !mhxquery.ValidDocumentName(name) {
+		writeError(w, http.StatusBadRequest, "invalid document name %q", name)
+		return
+	}
+	var req putDocRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Hierarchies) == 0 {
+		writeError(w, http.StatusBadRequest, "no hierarchies given")
+		return
+	}
+	hs := make([]mhxquery.Hierarchy, len(req.Hierarchies))
+	for i, h := range req.Hierarchies {
+		hs[i] = mhxquery.Hierarchy{Name: h.Name, XML: h.XML, DTD: h.DTD}
+	}
+	d, err := mhxquery.Parse(hs...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The name and document were validated above, so a Put failure is a
+	// server-side persistence problem, not a client error.
+	replaced, err := s.coll.Put(name, d)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.info(name, d))
+}
+
+func (s *server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, ok := s.coll.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no document %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(name, d))
+}
+
+func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := s.coll.Get(name); !ok {
+		writeError(w, http.StatusNotFound, "no document %q", name)
+		return
+	}
+	if err := s.coll.Delete(name); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	render := mhxquery.Sequence.String
+	switch req.Format {
+	case "", "xml":
+	case "text":
+		render = mhxquery.Sequence.Text
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want \"xml\" or \"text\")", req.Format)
+		return
+	}
+
+	if req.Doc != "" {
+		if req.Collection != "" {
+			writeError(w, http.StatusBadRequest, `"doc" and "collection" are mutually exclusive`)
+			return
+		}
+		res, err := s.coll.Query(req.Doc, req.Query)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, mhxquery.ErrDocNotFound) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, "%v", err)
+			return
+		}
+		out := render(res)
+		writeJSON(w, http.StatusOK, queryResponse{Results: []queryResult{{Doc: req.Doc, Result: &out}}})
+		return
+	}
+
+	results, err := s.coll.QueryMatching(req.Collection, req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := queryResponse{Results: make([]queryResult, len(results))}
+	for i, res := range results {
+		qr := queryResult{Doc: res.Name}
+		if res.Err != nil {
+			qr.Error = res.Err.Error()
+		} else {
+			out := render(res.Result)
+			qr.Result = &out
+		}
+		resp.Results[i] = qr
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

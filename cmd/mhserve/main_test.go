@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// resultOf unwraps a row's result pointer ("<absent>" when nil, which
+// marks an errored row).
+func resultOf(q queryResult) string {
+	if q.Result == nil {
+		return "<absent>"
+	}
+	return *q.Result
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	coll, err := openCollection("", 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{coll: coll}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// do issues a JSON request and decodes the JSON response into out.
+func do(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func putTestDoc(t *testing.T, base, name, pages, words string) {
+	t.Helper()
+	req := putDocRequest{Hierarchies: []hierarchyJSON{
+		{Name: "pages", XML: pages},
+		{Name: "words", XML: words},
+	}}
+	var info docInfo
+	if code := do(t, http.MethodPut, base+"/docs/"+name, req, &info); code != http.StatusCreated {
+		t.Fatalf("PUT %s: status %d", name, code)
+	}
+	if info.Name != name || len(info.Hierarchies) != 2 {
+		t.Fatalf("PUT %s: info %+v", name, info)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+
+	// An empty corpus lists as [], never null.
+	var empty struct {
+		Docs  json.RawMessage `json:"docs"`
+		Count int             `json:"count"`
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/docs", nil, &empty); code != http.StatusOK {
+		t.Fatalf("GET /docs (empty): status %d", code)
+	}
+	if string(empty.Docs) != "[]" || empty.Count != 0 {
+		t.Fatalf("empty corpus listing = %s, count %d", empty.Docs, empty.Count)
+	}
+
+	// Ingest two documents.
+	putTestDoc(t, ts.URL, "hello",
+		`<r><page>Hello wo</page><page>rld</page></r>`,
+		`<r><w>Hello</w> <w>world</w></r>`)
+	putTestDoc(t, ts.URL, "greet",
+		`<r><page>Good day</page></r>`,
+		`<r><w>Good</w> <w>day</w></r>`)
+
+	// healthz reports the corpus size.
+	var health struct {
+		Status string `json:"status"`
+		Docs   int    `json:"docs"`
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if health.Status != "ok" || health.Docs != 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// Listing.
+	var list struct {
+		Docs  []docInfo `json:"docs"`
+		Count int       `json:"count"`
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/docs", nil, &list); code != http.StatusOK {
+		t.Fatalf("GET /docs: status %d", code)
+	}
+	if list.Count != 2 || list.Docs[0].Name != "greet" || list.Docs[1].Name != "hello" {
+		t.Fatalf("GET /docs = %+v", list)
+	}
+	if list.Docs[1].Stats.Hierarchies != 2 || list.Docs[1].TextBytes != len("Hello world") {
+		t.Fatalf("hello info = %+v", list.Docs[1])
+	}
+
+	// Single-document query: the multihierarchical overlap axis.
+	var qr queryResponse
+	code := do(t, http.MethodPost, ts.URL+"/query",
+		queryRequest{Query: `for $w in /descendant::w[overlapping::page] return string($w)`, Doc: "hello"}, &qr)
+	if code != http.StatusOK {
+		t.Fatalf("POST /query: status %d", code)
+	}
+	if len(qr.Results) != 1 || resultOf(qr.Results[0]) != "world" {
+		t.Fatalf("single-doc query = %+v", qr)
+	}
+
+	// Collection-wide fan-out, text format.
+	qr = queryResponse{}
+	code = do(t, http.MethodPost, ts.URL+"/query",
+		queryRequest{Query: `count(/descendant::w)`, Format: "text"}, &qr)
+	if code != http.StatusOK {
+		t.Fatalf("POST /query (collection): status %d", code)
+	}
+	if len(qr.Results) != 2 || qr.Results[0].Doc != "greet" || resultOf(qr.Results[0]) != "2" ||
+		qr.Results[1].Doc != "hello" || resultOf(qr.Results[1]) != "2" {
+		t.Fatalf("collection query = %+v", qr)
+	}
+
+	// Glob-restricted fan-out.
+	qr = queryResponse{}
+	if code := do(t, http.MethodPost, ts.URL+"/query",
+		queryRequest{Query: `string(/descendant::page[1])`, Collection: "h*"}, &qr); code != http.StatusOK {
+		t.Fatalf("POST /query (glob): status %d", code)
+	}
+	if len(qr.Results) != 1 || qr.Results[0].Doc != "hello" || resultOf(qr.Results[0]) != "Hello wo" {
+		t.Fatalf("glob query = %+v", qr)
+	}
+
+	// Cross-document doc() reference inside a query.
+	qr = queryResponse{}
+	if code := do(t, http.MethodPost, ts.URL+"/query",
+		queryRequest{Query: `string-join((for $w in doc("greet")/descendant::w return string($w)), " ")`, Doc: "hello"}, &qr); code != http.StatusOK {
+		t.Fatalf("POST /query (doc()): status %d", code)
+	}
+	if resultOf(qr.Results[0]) != "Good day" {
+		t.Fatalf("doc() query = %+v", qr)
+	}
+
+	// Re-ingest replaces (200, not 201) and DELETE removes.
+	req := putDocRequest{Hierarchies: []hierarchyJSON{
+		{Name: "pages", XML: `<r><page>Bye</page></r>`},
+		{Name: "words", XML: `<r><w>Bye</w></r>`},
+	}}
+	if code := do(t, http.MethodPut, ts.URL+"/docs/hello", req, &docInfo{}); code != http.StatusOK {
+		t.Fatalf("replace: status %d", code)
+	}
+	if code := do(t, http.MethodDelete, ts.URL+"/docs/hello", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/docs/hello", nil, &errorResponse{}); code != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d", code)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts := newTestServer(t)
+	putTestDoc(t, ts.URL, "hello",
+		`<r><page>Hello wo</page><page>rld</page></r>`,
+		`<r><w>Hello</w> <w>world</w></r>`)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+	}{
+		{"query unknown doc", "POST", "/query", queryRequest{Query: `1`, Doc: "nope"}, http.StatusNotFound},
+		{"query bad syntax", "POST", "/query", queryRequest{Query: `for $x in`, Doc: "hello"}, http.StatusBadRequest},
+		{"query empty", "POST", "/query", queryRequest{Doc: "hello"}, http.StatusBadRequest},
+		{"query bad format", "POST", "/query", queryRequest{Query: `1`, Doc: "hello", Format: "yaml"}, http.StatusBadRequest},
+		{"query doc+collection", "POST", "/query", queryRequest{Query: `1`, Doc: "hello", Collection: "*"}, http.StatusBadRequest},
+		{"query bad glob", "POST", "/query", queryRequest{Query: `1`, Collection: "["}, http.StatusBadRequest},
+		{"get unknown", "GET", "/docs/nope", nil, http.StatusNotFound},
+		{"delete unknown", "DELETE", "/docs/nope", nil, http.StatusNotFound},
+		{"put empty", "PUT", "/docs/x", putDocRequest{}, http.StatusBadRequest},
+		{"put bad xml", "PUT", "/docs/x", putDocRequest{Hierarchies: []hierarchyJSON{{Name: "a", XML: "<r>"}}}, http.StatusBadRequest},
+		{"put mismatched text", "PUT", "/docs/x", putDocRequest{Hierarchies: []hierarchyJSON{
+			{Name: "a", XML: "<r>ab</r>"}, {Name: "b", XML: "<r>xy</r>"},
+		}}, http.StatusBadRequest},
+		{"put invalid name", "PUT", "/docs/a%20b", putDocRequest{Hierarchies: []hierarchyJSON{{Name: "a", XML: "<r>ab</r>"}}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var er errorResponse
+		code := do(t, tc.method, ts.URL+tc.path, tc.body, &er)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d (error %q)", tc.name, code, tc.want, er.Error)
+			continue
+		}
+		if er.Error == "" {
+			t.Errorf("%s: no error message in body", tc.name)
+		}
+	}
+
+	// Malformed JSON body.
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerPersistence(t *testing.T) {
+	dir := t.TempDir()
+	coll, err := openCollection(dir, 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{coll: coll}
+	ts := httptest.NewServer(s.routes())
+
+	// The preloaded Boethius fixture answers a paper query.
+	var qr queryResponse
+	if code := do(t, http.MethodPost, ts.URL+"/query",
+		queryRequest{Query: `count(/descendant::w[overlapping::line])`, Doc: "boethius"}, &qr); code != http.StatusOK {
+		t.Fatalf("boethius query: status %d", code)
+	}
+	if resultOf(qr.Results[0]) != "1" {
+		t.Fatalf("boethius query = %+v", qr)
+	}
+	putTestDoc(t, ts.URL, "hello",
+		`<r><page>Hello wo</page><page>rld</page></r>`,
+		`<r><w>Hello</w> <w>world</w></r>`)
+	ts.Close()
+	coll.Close()
+
+	// A second server over the same directory recovers the corpus.
+	coll2, err := openCollection(dir, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &server{coll: coll2}
+	ts2 := httptest.NewServer(s2.routes())
+	defer ts2.Close()
+	var list struct {
+		Count int `json:"count"`
+	}
+	if code := do(t, http.MethodGet, ts2.URL+"/docs", nil, &list); code != http.StatusOK || list.Count != 2 {
+		t.Fatalf("reopened corpus: count=%d", list.Count)
+	}
+	qr = queryResponse{}
+	if code := do(t, http.MethodPost, ts2.URL+"/query",
+		queryRequest{Query: `string(/descendant::w[overlapping::page])`, Doc: "hello"}, &qr); code != http.StatusOK {
+		t.Fatalf("reopened query: status %d", code)
+	}
+	if resultOf(qr.Results[0]) != "world" {
+		t.Fatalf("reopened query = %+v", qr)
+	}
+}

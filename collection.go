@@ -1,0 +1,153 @@
+package mhxquery
+
+import (
+	"fmt"
+
+	"mhxquery/internal/collection"
+)
+
+// ErrDocNotFound is wrapped by errors that report a name with no
+// registered document (test with errors.Is).
+var ErrDocNotFound = collection.ErrNotFound
+
+// ValidDocumentName reports whether name is acceptable to
+// Collection.Put: [A-Za-z0-9._-], not starting with a dot or dash.
+func ValidDocumentName(name string) bool { return collection.ValidName(name) }
+
+// Collection is a named corpus of multihierarchical documents: a
+// thread-safe registry with optional directory-backed persistence (the
+// Save/ReadDocument binary format), an LRU cache of compiled queries,
+// and parallel fan-out evaluation across member documents.
+//
+// Queries evaluated through a Collection may use doc("name") to reach a
+// sibling document and collection()/collection("glob") to range over
+// the whole corpus or a glob-selected subset of it.
+type Collection struct {
+	c *collection.Collection
+}
+
+// CollectionOptions configures a Collection. The zero value is valid:
+// GOMAXPROCS fan-out workers and a 128-entry compiled-query cache.
+type CollectionOptions struct {
+	// Workers bounds the QueryAll worker pool; 0 means GOMAXPROCS,
+	// 1 evaluates sequentially.
+	Workers int
+	// CacheSize is the compiled-query LRU capacity in entries;
+	// 0 means 128, negative disables caching.
+	CacheSize int
+}
+
+// NewCollection returns an empty in-memory collection.
+func NewCollection(opts CollectionOptions) *Collection {
+	return &Collection{c: collection.New(collection.Options{Workers: opts.Workers, CacheSize: opts.CacheSize})}
+}
+
+// OpenCollection returns a collection persisted under dir: the
+// directory is created if needed, every document image (*.mhxg) in it
+// is loaded, and subsequent Put calls write through to it.
+func OpenCollection(dir string, opts CollectionOptions) (*Collection, error) {
+	c, err := collection.Open(dir, collection.Options{Workers: opts.Workers, CacheSize: opts.CacheSize})
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{c: c}, nil
+}
+
+// Put registers doc under name, replacing any previous document of
+// that name and writing through to the backing directory if there is
+// one. It reports whether an existing document was replaced. Names are
+// restricted per ValidDocumentName.
+func (c *Collection) Put(name string, doc *Document) (replaced bool, err error) {
+	if doc == nil {
+		return false, fmt.Errorf("mhxquery: nil document")
+	}
+	return c.c.Put(name, doc.g)
+}
+
+// Get returns the document registered under name.
+func (c *Collection) Get(name string) (*Document, bool) {
+	d, ok := c.c.Get(name)
+	if !ok {
+		return nil, false
+	}
+	return &Document{g: d}, true
+}
+
+// Delete removes the named document (and its persisted image, if any).
+func (c *Collection) Delete(name string) error { return c.c.Delete(name) }
+
+// Names returns the member document names in sorted order.
+func (c *Collection) Names() []string { return c.c.Names() }
+
+// Len returns the number of member documents.
+func (c *Collection) Len() int { return c.c.Len() }
+
+// Query evaluates src against the named member document. Unlike
+// Document.Query, doc() and collection() are live inside src, resolved
+// against this collection.
+func (c *Collection) Query(name, src string) (Sequence, error) {
+	seq, d, err := c.c.QueryDoc(name, src)
+	if err != nil {
+		return Sequence{}, err
+	}
+	return Sequence{s: seq, d: d}, nil
+}
+
+// CollectionResult is the outcome of one document's evaluation in a
+// QueryAll fan-out.
+type CollectionResult struct {
+	// Name is the document's registry name.
+	Name string
+	// Result is the query result; zero when Err is set.
+	Result Sequence
+	// Err is the per-document evaluation error, if any; one document
+	// failing does not abort the others.
+	Err error
+}
+
+// QueryAll evaluates src against every member document in parallel
+// (bounded by CollectionOptions.Workers) and returns per-document
+// results in name order. The compiled form of src is cached and reused
+// across calls.
+func (c *Collection) QueryAll(src string) ([]CollectionResult, error) {
+	return c.queryMany(src, "")
+}
+
+// QueryMatching is QueryAll restricted to documents whose names match
+// the glob pattern (path.Match syntax).
+func (c *Collection) QueryMatching(pattern, src string) ([]CollectionResult, error) {
+	return c.queryMany(src, pattern)
+}
+
+func (c *Collection) queryMany(src, pattern string) ([]CollectionResult, error) {
+	results, err := c.c.QueryAll(src, pattern)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CollectionResult, len(results))
+	for i, r := range results {
+		out[i] = CollectionResult{Name: r.Name, Err: r.Err}
+		if r.Err == nil {
+			out[i].Result = Sequence{s: r.Seq, d: r.Doc}
+		}
+	}
+	return out, nil
+}
+
+// CollectionCacheStats reports compiled-query cache effectiveness.
+type CollectionCacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+	Capacity     int
+}
+
+// CacheStats returns a snapshot of the compiled-query cache counters.
+func (c *Collection) CacheStats() CollectionCacheStats {
+	s := c.c.CacheStats()
+	return CollectionCacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, Capacity: s.Capacity}
+}
+
+// Close marks the collection closed: pending queries finish, further
+// Put calls fail. Nothing is buffered (Put writes through), so Close
+// never loses data.
+func (c *Collection) Close() error { return c.c.Close() }

@@ -1,0 +1,116 @@
+package mhxquery_test
+
+import (
+	"strings"
+	"testing"
+
+	"mhxquery"
+)
+
+// putHiers ingests a two-hierarchy document built from pages/words XML.
+func putHiers(t *testing.T, c *mhxquery.Collection, name, pages, words string) {
+	t.Helper()
+	d, err := mhxquery.Parse(
+		mhxquery.Hierarchy{Name: "pages", XML: pages},
+		mhxquery.Hierarchy{Name: "words", XML: words},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(name, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testCollection(t *testing.T) *mhxquery.Collection {
+	t.Helper()
+	c := mhxquery.NewCollection(mhxquery.CollectionOptions{})
+	putHiers(t, c, "hello",
+		`<r><page>Hello wo</page><page>rld</page></r>`,
+		`<r><w>Hello</w> <w>world</w></r>`)
+	putHiers(t, c, "greet",
+		`<r><page>Good day</page></r>`,
+		`<r><w>Good</w> <w>day</w></r>`)
+	return c
+}
+
+func TestCollectionPublicAPI(t *testing.T) {
+	c := testCollection(t)
+	defer c.Close()
+
+	if got := strings.Join(c.Names(), ","); got != "greet,hello" {
+		t.Fatalf("Names = %q", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if d, ok := c.Get("hello"); !ok || d.Text() != "Hello world" {
+		t.Fatalf("Get(hello): ok=%v", ok)
+	}
+
+	// Single-document query with a cross-document doc() reference.
+	res, err := c.Query("hello", `string-join((for $w in doc("greet")/descendant::w return string($w)), " ")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != "Good day" {
+		t.Fatalf("doc() query = %q", res.String())
+	}
+
+	// Fan-out across the corpus: which words split across a page boundary?
+	results, err := c.QueryAll(`for $w in /descendant::w[overlapping::page] return string($w)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	byName := map[string]string{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		byName[r.Name] = r.Result.String()
+	}
+	if byName["hello"] != "world" || byName["greet"] != "" {
+		t.Fatalf("fan-out results = %v", byName)
+	}
+
+	// Glob-restricted fan-out.
+	results, err = c.QueryMatching("h*", `count(/descendant::w)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "hello" || results[0].Result.String() != "2" {
+		t.Fatalf("QueryMatching = %+v", results)
+	}
+
+	// The compiled-query cache saw the repeated sources.
+	if st := c.CacheStats(); st.Misses == 0 || st.Capacity != 128 {
+		t.Fatalf("CacheStats = %+v", st)
+	}
+}
+
+func TestCollectionPersistencePublic(t *testing.T) {
+	dir := t.TempDir()
+	c, err := mhxquery.OpenCollection(dir, mhxquery.CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putHiers(t, c, "hello",
+		`<r><page>Hello wo</page><page>rld</page></r>`,
+		`<r><w>Hello</w> <w>world</w></r>`)
+	c.Close()
+
+	c2, err := mhxquery.OpenCollection(dir, mhxquery.CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c2.Query("hello", `string(/descendant::w[overlapping::page])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != "world" {
+		t.Fatalf("reloaded query = %q", res.String())
+	}
+}

@@ -1,0 +1,163 @@
+// Concurrent-use tests backing the documented claims that a parsed
+// Document is immutable and safe for concurrent use, and that a
+// Collection may interleave ingest and fan-out queries from many
+// goroutines. Run with -race (CI does).
+package mhxquery_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mhxquery"
+	"mhxquery/internal/corpus"
+)
+
+// TestConcurrentDocumentQueries hammers one shared document from many
+// goroutines, including analyze-string queries whose temporary
+// hierarchies must stay private to each evaluation.
+func TestConcurrentDocumentQueries(t *testing.T) {
+	xml := corpus.BoethiusXML()
+	var hs []mhxquery.Hierarchy
+	for _, name := range corpus.BoethiusHierarchies() {
+		hs = append(hs, mhxquery.Hierarchy{Name: name, XML: xml[name]})
+	}
+	d, err := mhxquery.Parse(hs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []struct{ src, want string }{
+		{`count(/descendant::w[overlapping::line])`, "1"},
+		{`for $w in /descendant::w[overlapping::page] return string($w)`, ""},
+		{`string-join((for $l in /descendant::line return string($l)), "|")`,
+			"gesceaftum unawendendne sin|gallice sibbe gecynde þa"},
+		{`for $w in /descendant::w[string(.) = 'unawendendne']
+		  return serialize(analyze-string($w, ".*un<a>a</a>we.*"))`,
+			`<res><m>un<a>a</a>we</m>ndendne</res>`},
+	}
+	const goroutines, rounds = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				q := queries[(g+i)%len(queries)]
+				got, err := d.QueryString(q.src)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if got != q.want {
+					errs <- fmt.Errorf("goroutine %d: got %q, want %q", g, got, q.want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentCollection interleaves Put, Get, Names and QueryAll on
+// one collection from many goroutines.
+func TestConcurrentCollection(t *testing.T) {
+	c := mhxquery.NewCollection(mhxquery.CollectionOptions{Workers: 4, CacheSize: 8})
+	defer c.Close()
+
+	mkDoc := func(seed uint64) *mhxquery.Document {
+		g := corpus.Generate(corpus.Params{Seed: seed, Words: 40})
+		var hs []mhxquery.Hierarchy
+		for name, xml := range g.XML {
+			hs = append(hs, mhxquery.Hierarchy{Name: name, XML: xml})
+		}
+		d, err := mhxquery.Parse(hs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// Seed a few documents so early QueryAll calls have work.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Put(fmt.Sprintf("seed%d", i), mkDoc(uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const writers, readers, rounds = 4, 8, 15
+	// Parse on the test goroutine (mkDoc may t.Fatal); writers only Put.
+	writerDocs := make([][]*mhxquery.Document, writers)
+	for w := range writerDocs {
+		writerDocs[w] = make([]*mhxquery.Document, rounds)
+		for i := range writerDocs[w] {
+			writerDocs[w][i] = mkDoc(uint64(100 + w*rounds + i))
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				name := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := c.Put(name, writerDocs[w][i]); err != nil {
+					errs <- fmt.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch i % 3 {
+				case 0:
+					results, err := c.QueryAll(`count(/descendant::w)`)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: %v", r, err)
+						return
+					}
+					for _, res := range results {
+						if res.Err != nil {
+							errs <- fmt.Errorf("reader %d: %s: %v", r, res.Name, res.Err)
+							return
+						}
+						if res.Result.String() != "40" {
+							errs <- fmt.Errorf("reader %d: %s: got %q", r, res.Name, res.Result.String())
+							return
+						}
+					}
+				case 1:
+					if _, err := c.Query("seed0", `sum(for $d in collection("seed*") return count($d/descendant::w))`); err != nil {
+						errs <- fmt.Errorf("reader %d: %v", r, err)
+						return
+					}
+				default:
+					for _, name := range c.Names() {
+						if _, ok := c.Get(name); !ok {
+							// A concurrent writer may not have finished;
+							// only seeds are guaranteed present.
+							errs <- fmt.Errorf("reader %d: Names() returned missing %q", r, name)
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got, want := c.Len(), 4+writers*rounds; got != want {
+		t.Fatalf("final Len = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,3 @@
+module mhxquery
+
+go 1.22

@@ -1,0 +1,410 @@
+// Package collection implements a named corpus of multihierarchical
+// documents: a thread-safe in-memory registry with directory-backed
+// persistence in the store MHXG binary format, an LRU cache of compiled
+// queries, and parallel fan-out evaluation of one query across all (or
+// a glob-selected subset of) member documents.
+//
+// A Collection is the production backing for the doc() and collection()
+// functions of the query language: it implements xquery.Resolver, so
+// any query evaluated through Collection.Query or Collection.QueryAll
+// can reach every member document by name.
+package collection
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/store"
+	"mhxquery/internal/xquery"
+)
+
+// imageExt is the filename extension of persisted document images.
+const imageExt = ".mhxg"
+
+// nameRE restricts document names to a filesystem- and URL-safe
+// alphabet so a name can double as the image filename and as a path
+// segment of the HTTP API.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9_][A-Za-z0-9._-]*$`)
+
+// ValidName reports whether name is acceptable to Put.
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+// ErrNotFound distinguishes "no such document" from evaluation and I/O
+// failures (errors.Is).
+var ErrNotFound = errors.New("document not found")
+
+// Options configures a Collection. The zero value is valid.
+type Options struct {
+	// Workers bounds the fan-out worker pool of QueryAll.
+	// 0 means GOMAXPROCS; 1 evaluates sequentially.
+	Workers int
+	// CacheSize is the capacity of the compiled-query LRU cache in
+	// entries. 0 means a default of 128; negative disables caching.
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 128
+	}
+	return o
+}
+
+// Collection is a registry of named documents. All methods are safe for
+// concurrent use; member documents are immutable, so readers never
+// block each other.
+type Collection struct {
+	dir     string // "" = memory-only
+	workers int
+	cache   *lruCache
+
+	mu     sync.RWMutex
+	docs   map[string]*core.Document
+	closed bool
+}
+
+// New returns an empty memory-only collection.
+func New(opts Options) *Collection {
+	opts = opts.withDefaults()
+	var cache *lruCache
+	if opts.CacheSize > 0 {
+		cache = newLRU(opts.CacheSize)
+	}
+	return &Collection{
+		workers: opts.Workers,
+		cache:   cache,
+		docs:    map[string]*core.Document{},
+	}
+}
+
+// Open returns a collection persisted under dir, creating the directory
+// if needed and loading every *.mhxg image found there. Subsequent Put
+// calls write through to dir.
+func Open(dir string, opts Options) (*Collection, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("collection: %w", err)
+	}
+	c := New(opts)
+	c.dir = dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("collection: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			// Leftover from a crash mid-Put: the rename never happened,
+			// so the temp file is unpublished garbage.
+			os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		if e.IsDir() || !strings.HasSuffix(e.Name(), imageExt) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), imageExt)
+		if !nameRE.MatchString(name) {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("collection: %w", err)
+		}
+		d, err := store.Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("collection: loading %q: %w", e.Name(), err)
+		}
+		c.docs[name] = d
+	}
+	return c, nil
+}
+
+// Dir returns the backing directory ("" for a memory-only collection).
+func (c *Collection) Dir() string { return c.dir }
+
+// Workers returns the fan-out worker pool bound.
+func (c *Collection) Workers() int { return c.workers }
+
+// Len returns the number of member documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Put registers d under name and reports whether it replaced a
+// previous document of that name (decided under the same lock that
+// publishes, so HTTP created-vs-replaced answers cannot race). With a
+// backing directory the image is written through atomically: it is
+// encoded and fsynced to a temp file outside the registry lock
+// (queries are never blocked by disk I/O), then published with rename
+// + map update under the lock, so a crash never leaves the directory
+// with a torn image and a racing Delete cannot remove a freshly
+// published one.
+func (c *Collection) Put(name string, d *core.Document) (replaced bool, err error) {
+	if !nameRE.MatchString(name) {
+		return false, fmt.Errorf("collection: invalid document name %q", name)
+	}
+	if d == nil {
+		return false, fmt.Errorf("collection: nil document")
+	}
+	tmpName := ""
+	if c.dir != "" {
+		if tmpName, err = c.encodeTemp(name, d); err != nil {
+			return false, err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
+		return false, fmt.Errorf("collection: closed")
+	}
+	if tmpName != "" {
+		if err := os.Rename(tmpName, filepath.Join(c.dir, name+imageExt)); err != nil {
+			os.Remove(tmpName)
+			return false, fmt.Errorf("collection: %w", err)
+		}
+	}
+	_, replaced = c.docs[name]
+	c.docs[name] = d
+	return replaced, nil
+}
+
+// encodeTemp writes d's image to a temp file in the backing directory
+// and returns its path; the caller publishes it with rename.
+func (c *Collection) encodeTemp(name string, d *core.Document) (string, error) {
+	tmp, err := os.CreateTemp(c.dir, name+".*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("collection: %w", err)
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	if err := store.Encode(tmp, d); err != nil {
+		cleanup()
+		return "", fmt.Errorf("collection: encoding %q: %w", name, err)
+	}
+	// Flush file data before the rename so a crash cannot publish a
+	// name pointing at a torn image.
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return "", fmt.Errorf("collection: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("collection: %w", err)
+	}
+	return tmp.Name(), nil
+}
+
+// Get returns the document registered under name.
+func (c *Collection) Get(name string) (*core.Document, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[name]
+	return d, ok
+}
+
+// Delete removes the named document from the registry and, for a
+// persistent collection, from the backing directory. Deleting an
+// unknown name is a no-op.
+func (c *Collection) Delete(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.docs[name]
+	delete(c.docs, name)
+	// The image is removed under the same lock Put writes under, so a
+	// racing Put(name) cannot have its fresh image deleted.
+	if ok && c.dir != "" {
+		if err := os.Remove(filepath.Join(c.dir, name+imageExt)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("collection: %w", err)
+		}
+	}
+	return nil
+}
+
+// Names returns the member document names in sorted order.
+func (c *Collection) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.docs))
+	for name := range c.docs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close marks the collection closed. Pending readers finish normally;
+// subsequent Put calls fail. There is no other cleanup: images are
+// written through on every Put, so nothing is buffered.
+func (c *Collection) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// ---- xquery.Resolver ------------------------------------------------------
+
+// ResolveDoc implements xquery.Resolver: doc("name") inside a query
+// resolves against the live registry.
+func (c *Collection) ResolveDoc(name string) (*core.Document, error) {
+	d, ok := c.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("no document %q in collection: %w", name, ErrNotFound)
+	}
+	return d, nil
+}
+
+// ResolveCollection implements xquery.Resolver: collection("glob")
+// inside a query. The empty pattern selects every document; otherwise
+// names are matched with path.Match. Documents are returned in name
+// order.
+func (c *Collection) ResolveCollection(pattern string) ([]*core.Document, error) {
+	_, docs, err := c.view().match(pattern)
+	return docs, err
+}
+
+// view is an immutable snapshot of the registry: one registry epoch
+// that a whole fan-out can evaluate against. It implements
+// xquery.Resolver, so doc()/collection() inside a snapshot evaluation
+// see the same epoch as the fan-out itself.
+type view struct {
+	names []string // sorted
+	docs  map[string]*core.Document
+}
+
+// view captures the registry under one read lock.
+func (c *Collection) view() *view {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v := &view{
+		names: make([]string, 0, len(c.docs)),
+		docs:  make(map[string]*core.Document, len(c.docs)),
+	}
+	for name, d := range c.docs {
+		v.names = append(v.names, name)
+		v.docs[name] = d
+	}
+	sort.Strings(v.names)
+	return v
+}
+
+// match returns the (names, documents) of the view matching pattern,
+// in name order.
+func (v *view) match(pattern string) ([]string, []*core.Document, error) {
+	if pattern != "" {
+		// Validate the pattern once, against a fixed probe, so a bad
+		// glob fails loudly even on an empty collection.
+		if _, err := path.Match(pattern, "x"); err != nil {
+			return nil, nil, fmt.Errorf("bad pattern %q: %w", pattern, err)
+		}
+	}
+	matched := make([]string, 0, len(v.names))
+	docs := make([]*core.Document, 0, len(v.names))
+	for _, name := range v.names {
+		if pattern != "" {
+			if ok, _ := path.Match(pattern, name); !ok {
+				continue
+			}
+		}
+		matched = append(matched, name)
+		docs = append(docs, v.docs[name])
+	}
+	return matched, docs, nil
+}
+
+// ResolveDoc implements xquery.Resolver over the snapshot.
+func (v *view) ResolveDoc(name string) (*core.Document, error) {
+	d, ok := v.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("no document %q in collection: %w", name, ErrNotFound)
+	}
+	return d, nil
+}
+
+// ResolveCollection implements xquery.Resolver over the snapshot.
+func (v *view) ResolveCollection(pattern string) ([]*core.Document, error) {
+	_, docs, err := v.match(pattern)
+	return docs, err
+}
+
+// ---- compiled-query cache --------------------------------------------------
+
+// Compile returns the compiled form of src, reusing the LRU cache when
+// enabled. Compiled queries are immutable, so a cached query may be
+// evaluated by any number of goroutines at once.
+func (c *Collection) Compile(src string) (*xquery.Query, error) {
+	if c.cache == nil {
+		return xquery.Compile(src)
+	}
+	if q, ok := c.cache.get(src); ok {
+		return q, nil
+	}
+	q, err := xquery.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	c.cache.add(src, q)
+	return q, nil
+}
+
+// CacheStats reports compiled-query cache effectiveness.
+type CacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+	Capacity     int
+}
+
+// CacheStats returns a snapshot of the compiled-query cache counters.
+func (c *Collection) CacheStats() CacheStats {
+	if c.cache == nil {
+		return CacheStats{}
+	}
+	hits, misses, entries := c.cache.stats()
+	return CacheStats{Hits: hits, Misses: misses, Entries: entries, Capacity: c.cache.capacity}
+}
+
+// ---- query entry points ------------------------------------------------------
+
+// Query evaluates src against the named document, with this collection
+// resolving doc()/collection() references inside the query.
+func (c *Collection) Query(name, src string) (xquery.Seq, error) {
+	seq, _, err := c.QueryDoc(name, src)
+	return seq, err
+}
+
+// QueryDoc is Query returning also the document the evaluation ran
+// against, so callers can pair result nodes with their owning document
+// even if the registry entry is concurrently replaced. Like QueryAll,
+// the evaluation — including doc()/collection() inside the query —
+// sees one registry epoch, captured at the start.
+func (c *Collection) QueryDoc(name, src string) (xquery.Seq, *core.Document, error) {
+	q, err := c.Compile(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	v := c.view()
+	d, err := v.ResolveDoc(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("collection: %w", err)
+	}
+	seq, err := q.EvalWithResolver(d, nil, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seq, d, nil
+}

@@ -1,0 +1,318 @@
+package collection
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/corpus"
+	"mhxquery/internal/xquery"
+)
+
+// genDoc builds a deterministic synthetic document.
+func genDoc(t testing.TB, seed uint64, words int) *core.Document {
+	t.Helper()
+	d, err := corpus.Generate(corpus.Params{Seed: seed, Words: words}).Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// fill populates c with n generated documents named doc00, doc01, ...
+func fill(t testing.TB, c *Collection, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := c.Put(fmt.Sprintf("doc%02d", i), genDoc(t, uint64(i+1), 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	c := New(Options{})
+	fill(t, c, 3)
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	want := []string{"doc00", "doc01", "doc02"}
+	if got := c.Names(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	if _, ok := c.Get("doc01"); !ok {
+		t.Fatal("Get(doc01) not found")
+	}
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("Get(nope) unexpectedly found")
+	}
+	// Replacement keeps the name unique and is reported.
+	replaced, err := c.Put("doc01", genDoc(t, 99, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replaced {
+		t.Fatal("Put over an existing name did not report replaced")
+	}
+	if replaced, err := c.Put("fresh", genDoc(t, 98, 40)); err != nil || replaced {
+		t.Fatalf("Put(fresh): replaced=%v err=%v", replaced, err)
+	}
+	if err := c.Delete("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len after replace = %d, want 3", got)
+	}
+	if err := c.Delete("doc01"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len after delete = %d, want 2", got)
+	}
+}
+
+func TestPutRejectsBadNames(t *testing.T) {
+	c := New(Options{})
+	d := genDoc(t, 1, 20)
+	for _, name := range []string{"", ".", "..", "a/b", "../escape", ".hidden", "sp ace", "a\x00b"} {
+		if _, err := c.Put(name, d); err == nil {
+			t.Errorf("Put(%q) succeeded, want error", name)
+		}
+	}
+	for _, name := range []string{"a", "doc-1", "doc_1", "Doc.v2"} {
+		if _, err := c.Put(name, d); err != nil {
+			t.Errorf("Put(%q): %v", name, err)
+		}
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, c, 3)
+	// Images land in dir immediately (write-through).
+	for _, name := range c.Names() {
+		if _, err := os.Stat(filepath.Join(dir, name+imageExt)); err != nil {
+			t.Fatalf("image for %s: %v", name, err)
+		}
+	}
+	if err := c.Delete("doc02"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "doc02"+imageExt)); !os.IsNotExist(err) {
+		t.Fatalf("image for doc02 survived delete: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("late", genDoc(t, 7, 20)); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+
+	// A fresh Open sees the persisted corpus.
+	c2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(c2.Names(), ","), "doc00,doc01"; got != want {
+		t.Fatalf("reopened Names = %q, want %q", got, want)
+	}
+	// And the reloaded documents answer queries identically.
+	for _, name := range c2.Names() {
+		a, err := c.Query(name, `count(/descendant::w)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c2.Query(name, `count(/descendant::w)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xquery.Serialize(a) != xquery.Serialize(b) {
+			t.Fatalf("%s: reloaded answer %q != original %q", name, xquery.Serialize(b), xquery.Serialize(a))
+		}
+	}
+}
+
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not an image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.mhxg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A stale temp file (crash mid-Put) is swept on Open.
+	stale := filepath.Join(dir, "doc00.12345.tmp")
+	if err := os.WriteFile(stale, []byte("torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived Open: %v", err)
+	}
+}
+
+func TestNotFoundErrors(t *testing.T) {
+	c := New(Options{})
+	fill(t, c, 1)
+	if _, _, err := c.QueryDoc("nope", `1`); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("QueryDoc(nope) = %v, want ErrNotFound", err)
+	}
+	if _, err := c.ResolveDoc("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ResolveDoc(nope) = %v, want ErrNotFound", err)
+	}
+	if _, _, err := c.QueryDoc("doc00", `1`); err != nil {
+		t.Fatalf("QueryDoc(doc00) = %v", err)
+	}
+}
+
+func TestQueryAllFanOut(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c := New(Options{Workers: workers})
+			fill(t, c, 6)
+			results, err := c.QueryAll(`count(/descendant::w)`, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != 6 {
+				t.Fatalf("got %d results, want 6", len(results))
+			}
+			for i, r := range results {
+				if r.Err != nil {
+					t.Fatalf("%s: %v", r.Name, r.Err)
+				}
+				if want := fmt.Sprintf("doc%02d", i); r.Name != want {
+					t.Fatalf("result %d is %q, want %q (name order)", i, r.Name, want)
+				}
+				if got := xquery.Serialize(r.Seq); got != "60" {
+					t.Fatalf("%s: got %q, want 60 words", r.Name, got)
+				}
+			}
+		})
+	}
+}
+
+func TestQueryAllGlob(t *testing.T) {
+	c := New(Options{})
+	fill(t, c, 4)
+	if _, err := c.Put("other", genDoc(t, 50, 30)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.QueryAll(`1`, "doc*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("glob doc*: %d results, want 4", len(results))
+	}
+	if _, err := c.QueryAll(`1`, "["); err == nil {
+		t.Fatal("bad glob accepted")
+	}
+	results, err = c.QueryAll(`1`, "zzz*")
+	if err != nil || len(results) != 0 {
+		t.Fatalf("non-matching glob: results=%v err=%v", results, err)
+	}
+}
+
+func TestQueryAllPerDocumentErrors(t *testing.T) {
+	c := New(Options{})
+	fill(t, c, 2)
+	// structure/physical exist in generated docs; querying a hierarchy
+	// test that names a missing hierarchy fails per-document.
+	results, err := c.QueryAll(`count(/descendant::node('nosuch'))`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err == nil {
+			t.Fatalf("%s: expected per-document error", r.Name)
+		}
+	}
+	// Compile errors surface as the fan-out error, before any evaluation.
+	if _, err := c.QueryAll(`for $x in`, ""); err == nil {
+		t.Fatal("compile error not surfaced")
+	}
+}
+
+func TestDocAndCollectionInsideQueries(t *testing.T) {
+	c := New(Options{})
+	fill(t, c, 3)
+	// doc() reaches a sibling document from a single-doc query.
+	got, err := c.Query("doc00", `count(doc("doc01")/descendant::w)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.Serialize(got) != "60" {
+		t.Fatalf("doc() = %q, want 60", xquery.Serialize(got))
+	}
+	// collection() ranges over the whole registry.
+	got, err = c.Query("doc00", `sum(for $d in collection() return count($d/descendant::w))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.Serialize(got) != "180" {
+		t.Fatalf("collection() sum = %q, want 180", xquery.Serialize(got))
+	}
+}
+
+func TestCompileCache(t *testing.T) {
+	c := New(Options{CacheSize: 2})
+	q1, err := c.Compile(`1 + 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := c.Compile(`1 + 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Fatal("cache did not reuse the compiled query")
+	}
+	st := c.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	// Eviction: capacity 2, third distinct query evicts the LRU.
+	if _, err := c.Compile(`2 + 2`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(`3 + 3`); err != nil {
+		t.Fatal(err)
+	}
+	st = c.CacheStats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want capacity 2", st.Entries)
+	}
+	q4, err := c.Compile(`1 + 1`) // evicted; recompiles
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q4 == q1 {
+		t.Fatal("evicted query unexpectedly reused")
+	}
+	// Compile errors are not cached.
+	if _, err := c.Compile(`for $x in`); err == nil {
+		t.Fatal("compile error not surfaced")
+	}
+	// Disabled cache still compiles.
+	c2 := New(Options{CacheSize: -1})
+	if _, err := c2.Compile(`1`); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.CacheStats(); st.Capacity != 0 {
+		t.Fatalf("disabled cache stats = %+v", st)
+	}
+}

@@ -1,0 +1,85 @@
+package collection
+
+import (
+	"sync"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/xquery"
+)
+
+// Result is the outcome of evaluating one query against one member
+// document during a fan-out.
+type Result struct {
+	// Name is the document's registry name.
+	Name string
+	// Doc is the document the evaluation ran against (the snapshot
+	// member, even if the registry entry was concurrently replaced).
+	Doc *core.Document
+	// Seq is the query result; nil when Err is set.
+	Seq xquery.Seq
+	// Err is the per-document evaluation error, if any. One document
+	// failing does not abort the fan-out.
+	Err error
+}
+
+// QueryAll evaluates src once-compiled against every member document
+// whose name matches pattern ("" = all), fanning evaluations out over a
+// worker pool bounded by Options.Workers. Results are returned in
+// document name order regardless of completion order. The whole
+// fan-out — including doc()/collection() calls inside the query — sees
+// one registry epoch: a concurrent Put neither blocks the fan-out nor
+// joins it, in any of its rows.
+func (c *Collection) QueryAll(src, pattern string) ([]Result, error) {
+	q, err := c.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	v := c.view()
+	names, docs, err := v.match(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return runPool(c.workers, len(docs), func(i int) Result {
+		return evalOne(q, v, names[i], docs[i])
+	}), nil
+}
+
+// runPool runs jobs 0..n-1 on at most workers goroutines and returns
+// the i-th job's result at index i.
+func runPool(workers, n int, job func(int) Result) []Result {
+	results := make([]Result, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range results {
+			results[i] = job(i)
+		}
+		return results
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+func evalOne(q *xquery.Query, r xquery.Resolver, name string, d *core.Document) Result {
+	seq, err := q.EvalWithResolver(d, nil, r)
+	if err != nil {
+		return Result{Name: name, Doc: d, Err: err}
+	}
+	return Result{Name: name, Doc: d, Seq: seq}
+}

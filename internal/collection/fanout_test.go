@@ -1,0 +1,83 @@
+package collection
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunPoolParallelism proves the pool really runs jobs concurrently:
+// with 4 workers and 4 jobs that each block on a shared barrier until
+// all 4 have started, the pool completes only if all jobs overlap in
+// time. A sequential pool would deadlock (caught by the timeout).
+func TestRunPoolParallelism(t *testing.T) {
+	const n = 4
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	done := make(chan []Result, 1)
+	go func() {
+		done <- runPool(n, n, func(i int) Result {
+			barrier.Done()
+			barrier.Wait() // blocks until every job has started
+			return Result{Name: fmt.Sprint(i)}
+		})
+	}()
+	select {
+	case results := <-done:
+		for i, r := range results {
+			if r.Name != fmt.Sprint(i) {
+				t.Fatalf("result %d = %q", i, r.Name)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool did not run jobs concurrently (barrier deadlock)")
+	}
+}
+
+// TestRunPoolBounded proves the pool never exceeds its worker bound.
+func TestRunPoolBounded(t *testing.T) {
+	const workers, jobs = 3, 20
+	var running, peak atomic.Int32
+	runPool(workers, jobs, func(i int) Result {
+		cur := running.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		running.Add(-1)
+		return Result{}
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", p, workers)
+	}
+}
+
+// TestRunPoolOrdering: results come back indexed by job, not by
+// completion order.
+func TestRunPoolOrdering(t *testing.T) {
+	results := runPool(4, 12, func(i int) Result {
+		time.Sleep(time.Duration(12-i) * time.Millisecond) // later jobs finish first
+		return Result{Name: fmt.Sprint(i)}
+	})
+	for i, r := range results {
+		if r.Name != fmt.Sprint(i) {
+			t.Fatalf("result %d = %q, want completion-order independence", i, r.Name)
+		}
+	}
+}
+
+// TestRunPoolSmall covers the degenerate sizes.
+func TestRunPoolSmall(t *testing.T) {
+	if got := runPool(4, 0, func(int) Result { panic("no jobs") }); len(got) != 0 {
+		t.Fatalf("0 jobs: %v", got)
+	}
+	got := runPool(1, 3, func(i int) Result { return Result{Name: fmt.Sprint(i)} })
+	if len(got) != 3 || got[2].Name != "2" {
+		t.Fatalf("sequential path: %v", got)
+	}
+}

@@ -1,0 +1,69 @@
+package collection
+
+import (
+	"container/list"
+	"sync"
+
+	"mhxquery/internal/xquery"
+)
+
+// lruCache is a fixed-capacity least-recently-used cache of compiled
+// queries keyed by query source. Compiled queries are immutable, so one
+// entry can be shared by any number of concurrent evaluations; the lock
+// only guards the recency list and map.
+type lruCache struct {
+	capacity int
+
+	mu           sync.Mutex
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type lruEntry struct {
+	key string
+	q   *xquery.Query
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+func (l *lruCache) get(key string) (*xquery.Query, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		l.misses++
+		return nil, false
+	}
+	l.hits++
+	l.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).q, true
+}
+
+func (l *lruCache) add(key string, q *xquery.Query) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		// A concurrent Compile won the race; keep the existing entry.
+		l.ll.MoveToFront(el)
+		return
+	}
+	l.items[key] = l.ll.PushFront(&lruEntry{key: key, q: q})
+	for l.ll.Len() > l.capacity {
+		oldest := l.ll.Back()
+		l.ll.Remove(oldest)
+		delete(l.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (l *lruCache) stats() (hits, misses uint64, entries int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.misses, l.ll.Len()
+}

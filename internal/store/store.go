@@ -155,6 +155,9 @@ func Decode(r io.Reader) (*core.Document, error) {
 	}
 	d := &decoder{r: br}
 	if v := d.uvarint(); v != version {
+		if v > version {
+			return nil, fmt.Errorf("store: image version %d is newer than the supported version %d; rebuild with a newer mhxquery or re-encode the document", v, version)
+		}
 		return nil, fmt.Errorf("store: unsupported version %d", v)
 	}
 	table := make([]string, d.uvarint())

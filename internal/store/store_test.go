@@ -160,6 +160,26 @@ func TestDecodeErrors(t *testing.T) {
 	}
 }
 
+func TestDecodeRejectsNewerVersion(t *testing.T) {
+	d := corpus.MustBoethius()
+	var buf bytes.Buffer
+	if err := Encode(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	img := append([]byte(nil), buf.Bytes()...)
+	img[4] = version + 1 // version uvarint follows the 4-byte magic
+	_, err := Decode(bytes.NewReader(img))
+	if err == nil {
+		t.Fatal("image with a newer version accepted")
+	}
+	// The forward-compat guard must say the image is from the future,
+	// not just "unsupported" — a collection directory written by a newer
+	// build should fail loudly and actionably.
+	if !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("error %q does not identify a newer-version image", err)
+	}
+}
+
 func TestDecodedDocumentQueries(t *testing.T) {
 	d := corpus.MustBoethius()
 	var buf bytes.Buffer

@@ -138,7 +138,7 @@ func fnAnalyzeString(c *context, args []Seq) (Seq, error) {
 	if err != nil {
 		return nil, errf("MHXQ0003", "analyze-string: first argument must be a single node (%v)", err)
 	}
-	d := c.st.doc
+	d := c.st.docFor(n)
 	switch n.Kind {
 	case dom.Element, dom.Text, dom.Leaf:
 	default:
@@ -230,6 +230,19 @@ func fnAnalyzeString(c *context, args []Seq) (Seq, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.st.doc = nd
+	if d == c.st.doc {
+		c.st.doc = nd
+	} else {
+		// The analyzed node came from a doc()/collection() document:
+		// advance that document's entry to its overlay so later steps on
+		// its nodes (including the new temporaries) dispatch there, and
+		// leave the active document alone.
+		for i, e := range c.st.extra {
+			if e == d {
+				c.st.extra[i] = nd
+				break
+			}
+		}
+	}
 	return singleton(res), nil
 }

@@ -11,6 +11,18 @@ type Query struct {
 	body expr
 }
 
+// Resolver supplies the documents named by the doc() and collection()
+// functions. Implementations must be safe for concurrent use; the
+// returned documents are evaluated against but never mutated.
+type Resolver interface {
+	// ResolveDoc returns the document registered under name.
+	ResolveDoc(name string) (*core.Document, error)
+	// ResolveCollection returns the documents whose names match the
+	// glob pattern (path.Match syntax), in stable name order. The empty
+	// pattern selects every document.
+	ResolveCollection(pattern string) ([]*core.Document, error)
+}
+
 // Compile parses an extended-XQuery expression.
 func Compile(src string) (*Query, error) {
 	body, err := parseQuery(src)
@@ -43,7 +55,14 @@ func (q *Query) Eval(d *core.Document) (Seq, error) {
 
 // EvalWithVars evaluates the query with externally bound variables.
 func (q *Query) EvalWithVars(d *core.Document, vars map[string]Seq) (Seq, error) {
-	st := &evalState{doc: d}
+	return q.EvalWithResolver(d, vars, nil)
+}
+
+// EvalWithResolver evaluates the query with externally bound variables
+// and a document resolver backing the doc() and collection() functions.
+// With a nil resolver those functions raise FODC0002/FODC0004.
+func (q *Query) EvalWithResolver(d *core.Document, vars map[string]Seq, r Resolver) (Seq, error) {
+	st := &evalState{doc: d, resolver: r}
 	c := &context{st: st, item: d.Root, pos: 1, size: 1}
 	for name, val := range vars {
 		c = c.bind(name, val)

@@ -1,0 +1,200 @@
+package xquery_test
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"testing"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/xmlparse"
+	"mhxquery/internal/xquery"
+)
+
+// mapResolver is a minimal Resolver over a fixed name → document map,
+// mirroring what collection.Collection provides in production.
+type mapResolver map[string]*core.Document
+
+func (m mapResolver) ResolveDoc(name string) (*core.Document, error) {
+	d, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("no document %q", name)
+	}
+	return d, nil
+}
+
+func (m mapResolver) ResolveCollection(pattern string) ([]*core.Document, error) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []*core.Document
+	for _, name := range names {
+		if pattern != "" {
+			ok, err := path.Match(pattern, name)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, m[name])
+	}
+	return out, nil
+}
+
+// resolverDoc builds a two-hierarchy document over the given words: a
+// "pages" hierarchy splitting the text in two, and a "words" hierarchy
+// marking each word.
+func resolverDoc(t *testing.T, words ...string) *core.Document {
+	t.Helper()
+	text := strings.Join(words, " ")
+	mid := len(text) / 2
+	pages := fmt.Sprintf("<r><page>%s</page><page>%s</page></r>", text[:mid], text[mid:])
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i, w := range words {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString("<w>" + w + "</w>")
+	}
+	b.WriteString("</r>")
+	var trees []core.NamedTree
+	for _, h := range []struct{ name, xml string }{{"pages", pages}, {"words", b.String()}} {
+		root, err := xmlparse.Parse(h.xml, xmlparse.Options{})
+		if err != nil {
+			t.Fatalf("parse %s: %v", h.name, err)
+		}
+		trees = append(trees, core.NamedTree{Name: h.name, Root: root})
+	}
+	d, err := core.Build(trees)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return d
+}
+
+func resolverFixture(t *testing.T) (mapResolver, *core.Document) {
+	t.Helper()
+	r := mapResolver{
+		"alpha": resolverDoc(t, "alpha", "one", "two"),
+		"beta":  resolverDoc(t, "beta", "three"),
+		"extra": resolverDoc(t, "extra", "four", "five", "six"),
+	}
+	return r, r["alpha"]
+}
+
+func evalResolver(t *testing.T, base *core.Document, r xquery.Resolver, src string) (string, error) {
+	t.Helper()
+	q, err := xquery.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	res, err := q.EvalWithResolver(base, nil, r)
+	if err != nil {
+		return "", err
+	}
+	return xquery.Serialize(res), nil
+}
+
+func TestDocFunction(t *testing.T) {
+	r, base := resolverFixture(t)
+	cases := []struct{ name, src, want string }{
+		{"doc path", `for $w in doc("beta")/descendant::w return string($w)`, "beta three"},
+		{"doc count", `count(doc("extra")/descendant::w)`, "4"},
+		{"doc same doc", `count(doc("alpha")/descendant::w)`, "3"},
+		{"doc extended axis", `count(doc("extra")/descendant::w[overlapping::page])`, "1"},
+		{"doc hier test", `count(doc("beta")/descendant::text('words'))`, "3"},
+		{"mix base and doc", `count(/descendant::w) + count(doc("beta")/descendant::w)`, "5"},
+		// "/" inside a predicate on a foreign node is that node's own
+		// tree root (XPath), not the active document's: beta has 2 w's,
+		// so the predicate holds for both of them.
+		{"absolute path in foreign context", `count(doc("beta")/descendant::w[count(/descendant::w) = 2])`, "2"},
+		// The 0-arg doc-scoped extensions follow the context item too
+		// (a path step sets the context item; a for-binding does not).
+		{"base-text in foreign context", `doc("beta")/descendant::w[1]/base-text()`, "beta three"},
+		{"root() equals / in foreign context", `count(doc("beta")/descendant::w[root(.) is /])`, "2"},
+	}
+	for _, tc := range cases {
+		got, err := evalResolver(t, base, r, tc.src)
+		if err != nil {
+			t.Errorf("%s: error %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCollectionFunction(t *testing.T) {
+	r, base := resolverFixture(t)
+	cases := []struct{ name, src, want string }{
+		{"all roots", `count(collection())`, "3"},
+		{"glob", `count(collection("a*"))`, "1"},
+		{"words across docs", `sum(for $d in collection() return count($d/descendant::w))`, "9"},
+		{"direct path from collection", `count(collection()/descendant::w)`, "9"},
+		{"glob words", `for $w in collection("beta")/descendant::w return string($w)`, "beta three"},
+	}
+	for _, tc := range cases {
+		got, err := evalResolver(t, base, r, tc.src)
+		if err != nil {
+			t.Errorf("%s: error %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestAnalyzeStringOnForeignDoc: analyze-string must run over the
+// analyzed node's own document (its spans index that document's base
+// text), and must not clobber the active document for later steps.
+func TestAnalyzeStringOnForeignDoc(t *testing.T) {
+	r, base := resolverFixture(t)
+	// beta's first word is "beta"; the match is against beta's text,
+	// not alpha's. The trailing count runs against the active document
+	// (alpha, 3 words) after the overlay was created.
+	got, err := evalResolver(t, base, r,
+		`(serialize(analyze-string(doc("beta")/descendant::w[1], ".*et.*")), count(/descendant::w))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `<res>b<m>et</m>a</res> 3`; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	// Navigating from the temporary hierarchy's nodes still works.
+	got, err = evalResolver(t, base, r,
+		`string(analyze-string(doc("beta")/descendant::w[1], ".*et.*")/child::m)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "et" {
+		t.Errorf("child::m of overlay = %q, want %q", got, "et")
+	}
+}
+
+func TestDocFunctionErrors(t *testing.T) {
+	r, base := resolverFixture(t)
+
+	// Unknown document name.
+	if _, err := evalResolver(t, base, r, `doc("nope")`); err == nil || !strings.Contains(err.Error(), "FODC0002") {
+		t.Errorf("doc(unknown): got %v, want FODC0002", err)
+	}
+	// Bad glob pattern.
+	if _, err := evalResolver(t, base, r, `collection("[")`); err == nil || !strings.Contains(err.Error(), "FODC0004") {
+		t.Errorf("collection(bad glob): got %v, want FODC0004", err)
+	}
+	// No resolver: both functions are unavailable.
+	if _, err := xquery.EvalString(base, `doc("alpha")`); err == nil || !strings.Contains(err.Error(), "FODC0002") {
+		t.Errorf("doc without resolver: got %v, want FODC0002", err)
+	}
+	if _, err := xquery.EvalString(base, `collection()`); err == nil || !strings.Contains(err.Error(), "FODC0004") {
+		t.Errorf("collection without resolver: got %v, want FODC0004", err)
+	}
+}

@@ -17,6 +17,58 @@ import (
 type evalState struct {
 	doc     *core.Document
 	tempSeq int
+	// resolver backs doc() and collection(); nil outside a collection
+	// evaluation context.
+	resolver Resolver
+	// extra holds the documents pulled in by doc()/collection() during
+	// this evaluation, so axis steps on their nodes dispatch to the
+	// owning document rather than the active one.
+	extra []*core.Document
+}
+
+// addExtra records a document loaded by doc()/collection().
+func (st *evalState) addExtra(d *core.Document) {
+	if d == st.doc {
+		return
+	}
+	for _, e := range st.extra {
+		if e == d {
+			return
+		}
+	}
+	st.extra = append(st.extra, d)
+}
+
+// docFor returns the document that owns n: the active document, one of
+// the documents loaded via doc()/collection(), or — for constructed
+// nodes owned by no document — the active document. Matched extra
+// entries move to the front (consecutive axis steps almost always stay
+// in one document, so the scan is amortized O(1) even when
+// collection() loaded many documents).
+func (st *evalState) docFor(n *dom.Node) *core.Document {
+	if len(st.extra) == 0 || st.doc.Owns(n) {
+		return st.doc
+	}
+	for i, e := range st.extra {
+		if e.Owns(n) {
+			if i > 0 {
+				copy(st.extra[1:], st.extra[:i])
+				st.extra[0] = e
+			}
+			return e
+		}
+	}
+	return st.doc
+}
+
+// rootFor implements the XPath rule that "/" selects the root of the
+// tree containing the context item: the owning document's root for a
+// node item, the active document's root otherwise.
+func (st *evalState) rootFor(item Item) *dom.Node {
+	if n, ok := item.(*dom.Node); ok {
+		return st.docFor(n).Root
+	}
+	return st.doc.Root
 }
 
 // context is the dynamic context: context item, position/size, variable
@@ -77,7 +129,7 @@ func (e *contextItemExpr) eval(c *context) (Seq, error) {
 }
 
 func (e *rootExpr) eval(c *context) (Seq, error) {
-	return singleton(c.st.doc.Root), nil
+	return singleton(c.st.rootFor(c.item)), nil
 }
 
 func (e *seqExpr) eval(c *context) (Seq, error) {
@@ -593,7 +645,7 @@ func (p *pathExpr) eval(c *context) (Seq, error) {
 		}
 		cur = v
 	case p.absolute:
-		cur = Seq{c.st.doc.Root}
+		cur = Seq{c.st.rootFor(c.item)}
 	default:
 		if c.item == nil {
 			return nil, errf("XPDY0002", "context item undefined at start of relative path")
@@ -625,7 +677,7 @@ func (p *pathExpr) eval(c *context) (Seq, error) {
 			if !ok {
 				return nil, errf("XPTY0019", "%s:: step applied to an atomic value", s.axis)
 			}
-			nodes := c.st.doc.Eval(s.axis, n)
+			nodes := c.st.docFor(n).Eval(s.axis, n)
 			filtered := make(Seq, 0, len(nodes))
 			for _, m := range nodes {
 				match, err := matchTest(c, s.axis, m, s.test)
@@ -695,7 +747,7 @@ func hierOK(c *context, n *dom.Node, hiers []string) (bool, error) {
 	if len(hiers) == 0 {
 		return true, nil
 	}
-	d := c.st.doc
+	d := c.st.docFor(n)
 	for _, h := range hiers {
 		if d.HierarchyByName(h) == nil {
 			return false, errf("MHXQ0001", "unknown hierarchy %q in node test", h)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"mhxquery/internal/core"
 	"mhxquery/internal/dom"
 )
 
@@ -120,7 +121,60 @@ func init() {
 	registerSequenceFuncs()
 	registerNumericFuncs()
 	registerNodeFuncs()
+	registerDocFuncs()
 	register("analyze-string", 2, 3, fnAnalyzeString)
+}
+
+// contextDoc returns the document of the context item, so the 0-arg
+// doc-scoped extensions (hierarchies, base-text) answer for the
+// document the evaluation is currently inside — which differs from the
+// active document inside a doc()/collection() subtree.
+func contextDoc(c *context) *core.Document {
+	if n, ok := c.item.(*dom.Node); ok {
+		return c.st.docFor(n)
+	}
+	return c.st.doc
+}
+
+// registerDocFuncs wires the multi-document input functions. Both
+// require a Resolver (supplied by Query.EvalWithResolver, normally a
+// collection.Collection); without one they raise the standard
+// FODC0002/FODC0004 errors.
+func registerDocFuncs() {
+	register("doc", 1, 1, func(c *context, args []Seq) (Seq, error) {
+		name, err := oneString(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		if c.st.resolver == nil {
+			return nil, errf("FODC0002", "doc(%q): no document resolver in this evaluation context", name)
+		}
+		d, err := c.st.resolver.ResolveDoc(name)
+		if err != nil {
+			return nil, errf("FODC0002", "doc(%q): %v", name, err)
+		}
+		c.st.addExtra(d)
+		return singleton(d.Root), nil
+	})
+	register("collection", 0, 1, func(c *context, args []Seq) (Seq, error) {
+		pattern, err := oneString(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		if c.st.resolver == nil {
+			return nil, errf("FODC0004", "collection(): no document resolver in this evaluation context")
+		}
+		docs, err := c.st.resolver.ResolveCollection(pattern)
+		if err != nil {
+			return nil, errf("FODC0004", "collection(%q): %v", pattern, err)
+		}
+		var out Seq
+		for _, d := range docs {
+			c.st.addExtra(d)
+			out = append(out, d.Root)
+		}
+		return out, nil
+	})
 }
 
 func registerStringFuncs() {
@@ -648,8 +702,8 @@ func registerNodeFuncs() {
 		if !ok {
 			return nil, errf("XPTY0004", "root() requires a node")
 		}
-		if c.st.doc.Owns(n) || n == c.st.doc.Root {
-			return singleton(c.st.doc.Root), nil
+		if d := c.st.docFor(n); d.Owns(n) || n == d.Root {
+			return singleton(d.Root), nil
 		}
 		return singleton((*dom.Node)(n.Root())), nil
 	})
@@ -689,7 +743,7 @@ func registerNodeFuncs() {
 		if err != nil {
 			return nil, err
 		}
-		if n == c.st.doc.Root {
+		if n == c.st.docFor(n).Root {
 			return Seq{}, nil
 		}
 		if n.Kind == dom.Leaf {
@@ -706,7 +760,7 @@ func registerNodeFuncs() {
 	})
 	registerExt("hierarchies", 0, 0, func(c *context, args []Seq) (Seq, error) {
 		var out Seq
-		for _, name := range c.st.doc.HierarchyNames() {
+		for _, name := range contextDoc(c).HierarchyNames() {
 			out = append(out, name)
 		}
 		return out, nil
@@ -717,13 +771,13 @@ func registerNodeFuncs() {
 			return nil, err
 		}
 		var out Seq
-		for _, l := range c.st.doc.LeavesOf(n) {
+		for _, l := range c.st.docFor(n).LeavesOf(n) {
 			out = append(out, l)
 		}
 		return out, nil
 	})
 	registerExt("base-text", 0, 0, func(c *context, args []Seq) (Seq, error) {
-		return singleton(c.st.doc.Text), nil
+		return singleton(contextDoc(c).Text), nil
 	})
 	registerExt("span-start", 1, 1, func(c *context, args []Seq) (Seq, error) {
 		n, err := oneNode(args, 0)
