@@ -19,6 +19,10 @@
 //	P5  BenchmarkParseThroughput/*       — document-centric parse throughput
 //	P7  BenchmarkCollectionFanOut/*      — sequential vs parallel corpus fan-out
 //	P8  BenchmarkCompileCache/*          — cold compile vs LRU cache hit
+//	P9  BenchmarkPathPipeline/*          — order-aware path pipeline at 1/10/100× scale
+//
+// scripts/bench.sh runs the evaluator-level subset (E3–E7, P9) with
+// -count and emits BENCH_eval.json, the recorded perf trajectory.
 package mhxquery_test
 
 import (
@@ -313,6 +317,54 @@ func BenchmarkParseThroughput(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---- P9: order-aware path pipeline ------------------------------------------
+
+// pathPipelineQueries are multi-step path workloads exercising the step
+// evaluation pipeline: multi-context steps, extended axes inside
+// predicates, full leaf scans and positional selection.
+var pathPipelineQueries = []struct{ name, src string }{
+	{"damaged", `count(/descendant::w[xancestor::dmg or xdescendant::dmg or overlapping::dmg])`},
+	{"split", `count(/descendant::w[overlapping::line])`},
+	{"leafscan", `count(/descendant::vline/child::w/descendant::leaf())`},
+	{"firstword", `count(/descendant::vline/child::w[1])`},
+}
+
+// BenchmarkPathPipeline measures multi-step path evaluation over the
+// four-hierarchy generated manuscript at 1×, 10× and 100× the scale of
+// the paper's Boethius fixture (6 words).
+func BenchmarkPathPipeline(b *testing.B) {
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 6}, {"10x", 60}, {"100x", 600}} {
+		c := corpus.Generate(corpus.Params{Seed: 9, Words: scale.words, DamageRate: 0.12})
+		d, err := c.Document()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range pathPipelineQueries {
+			cq := xquery.MustCompile(q.src)
+			res, err := cq.Eval(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := xquery.Serialize(res)
+			b.Run(scale.name+"/"+q.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := cq.Eval(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := xquery.Serialize(res); got != want {
+						b.Fatalf("got %q, want %q", got, want)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	mhserve [-addr :8080] [-dir corpus/] [-workers N] [-cache N] [-boethius]
+//	mhserve [-addr :8080] [-dir corpus/] [-workers N] [-cache N] [-boethius] [-pprof addr]
+//
+// With -pprof a second listener exposes net/http/pprof (live CPU, heap
+// and goroutine profiles of the query hot paths) on a separate address,
+// so profiling is never reachable through the public serving port:
+//
+//	mhserve -boethius -pprof localhost:6060 &
+//	curl -o cpu.out 'http://localhost:6060/debug/pprof/profile?seconds=10'
+//	go tool pprof cpu.out
 //
 // With -dir the corpus directory is loaded at startup and every ingest
 // writes through to it (one compact binary image per document), so a
@@ -29,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux (the -pprof listener only)
 	"os"
 	"time"
 
@@ -45,12 +54,23 @@ func main() {
 	workers := flag.Int("workers", 0, "fan-out worker pool size (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "compiled-query cache entries (0 = 128, negative = disabled)")
 	boethius := flag.Bool("boethius", false, "preload the paper's Figure 1 fixture as \"boethius\"")
+	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
 
 	coll, err := openCollection(*dir, *workers, *cache, *boethius)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mhserve:", err)
 		os.Exit(1)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("mhserve: pprof listening on %s", *pprofAddr)
+			// The default mux carries only the net/http/pprof handlers;
+			// the query API below runs on its own mux.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("mhserve: pprof listener: %v", err)
+			}
+		}()
 	}
 	s := &server{coll: coll}
 	srv := &http.Server{

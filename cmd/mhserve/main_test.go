@@ -279,3 +279,25 @@ func TestServerPersistence(t *testing.T) {
 		t.Fatalf("reopened query = %+v", qr)
 	}
 }
+
+// TestPprofRegistered checks that importing net/http/pprof wired the
+// profiling handlers onto the default mux (which only the -pprof
+// listener serves) and that the query API mux does NOT expose them.
+func TestPprofRegistered(t *testing.T) {
+	req := httptest.NewRequest("GET", "http://pprof/debug/pprof/cmdline", nil)
+	rec := httptest.NewRecorder()
+	http.DefaultServeMux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("default mux /debug/pprof/cmdline = %d, want 200", rec.Code)
+	}
+
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("query API mux exposes /debug/pprof — profiling must stay on the -pprof listener")
+	}
+}

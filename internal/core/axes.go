@@ -83,9 +83,38 @@ func (a Axis) Reverse() bool {
 // multihierarchical axes.
 func (a Axis) Extended() bool { return a >= AxisXDescendant }
 
+// OrderContract describes the node order Eval/AppendAxis guarantee for
+// an axis result (over nodes owned by the evaluated document; results
+// over constructed, unindexed trees are order-degenerate since
+// Definition 3 does not rank them).
+type OrderContract uint8
+
+const (
+	// EmitsDocOrder: ascending Definition 3 document order, no duplicates.
+	EmitsDocOrder OrderContract = iota
+	// EmitsReverseDocOrder: descending document order (nearest first for
+	// the reverse axes), no duplicates.
+	EmitsReverseDocOrder
+)
+
+// Order returns the axis's order contract. Every axis emits
+// document-order-sorted, duplicate-free results; the reverse axes emit
+// exactly the reverse. Consumers may therefore restore document order
+// with an O(k) reversal instead of a comparison sort. (parent is a
+// reverse axis for positional predicates, but a leaf's parents are
+// emitted in hierarchy order, which is document order — so its
+// contract is forward.) TestQuickAxisOrderContracts enforces this
+// classification for every axis on random documents.
+func (a Axis) Order() OrderContract {
+	if a.Reverse() && a != AxisParent {
+		return EmitsReverseDocOrder
+	}
+	return EmitsDocOrder
+}
+
 // Eval evaluates the axis from context node n against document d,
 // returning nodes in axis order (reverse axes: nearest first). Results
-// contain no duplicates.
+// contain no duplicates and satisfy the axis's OrderContract.
 //
 // Per the paper, standard axes applied to a non-root node stay within the
 // node's own hierarchy component; applied to the shared root they range
@@ -93,75 +122,115 @@ func (a Axis) Extended() bool { return a >= AxisXDescendant }
 // parent of a leaf is the set of text nodes containing it (one per
 // covering hierarchy), siblings of a leaf are the other leaves.
 func (d *Document) Eval(a Axis, n *dom.Node) []*dom.Node {
+	return d.AppendAxis(nil, a, n)
+}
+
+// SharedAxis returns the axis result as a read-only view of the
+// document's internal arrays when one exists for (a, n): no allocation,
+// no copying. ok=false means no contiguous view exists and the caller
+// must use AppendAxis. Callers must never mutate the returned slice.
+func (d *Document) SharedAxis(a Axis, n *dom.Node) (nodes []*dom.Node, ok bool) {
 	switch a {
-	case AxisSelf:
-		return []*dom.Node{n}
 	case AxisAttribute:
 		if n.Kind == dom.Element {
-			return append([]*dom.Node(nil), n.Attrs...)
+			return n.Attrs, true
 		}
-		return nil
+		return nil, true
 	case AxisChild:
-		return d.children(n)
+		switch {
+		case n == d.Root:
+			return d.rootKids, true
+		case n.Kind == dom.Text:
+			return d.LeavesOf(n), true
+		case n.Kind == dom.Element:
+			return n.Children, true
+		}
+		return nil, true
 	case AxisDescendant:
-		return d.descendants(n, false)
-	case AxisDescendantOrSelf:
-		return d.descendants(n, true)
-	case AxisParent:
-		return d.parents(n)
-	case AxisAncestor:
-		return d.ancestors(n, false)
-	case AxisAncestorOrSelf:
-		return d.ancestors(n, true)
+		if n != d.Root && n.Kind == dom.Text {
+			return d.LeavesOf(n), true
+		}
 	case AxisFollowing:
-		return d.following(n)
-	case AxisPreceding:
-		return d.preceding(n)
-	case AxisFollowingSibling:
-		return d.siblings(n, true)
-	case AxisPrecedingSibling:
-		return d.siblings(n, false)
+		if n != d.Root && n.Kind == dom.Leaf {
+			return d.Leaves[min(n.Ord+1, len(d.Leaves)):], true
+		}
 	}
-	return d.extendedAxis(a, n)
+	return nil, false
 }
 
-func (d *Document) children(n *dom.Node) []*dom.Node {
+// AppendAxis appends the axis result for (a, n) to dst and returns the
+// extended slice, in axis order per the axis's OrderContract. It is
+// Eval with caller-owned storage, so per-step result buffers can be
+// reused across context nodes.
+func (d *Document) AppendAxis(dst []*dom.Node, a Axis, n *dom.Node) []*dom.Node {
+	switch a {
+	case AxisSelf:
+		return append(dst, n)
+	case AxisAttribute:
+		if n.Kind == dom.Element {
+			return append(dst, n.Attrs...)
+		}
+		return dst
+	case AxisChild:
+		return d.children(dst, n)
+	case AxisDescendant:
+		return d.descendants(dst, n, false)
+	case AxisDescendantOrSelf:
+		return d.descendants(dst, n, true)
+	case AxisParent:
+		return d.parents(dst, n)
+	case AxisAncestor:
+		return d.ancestors(dst, n, false)
+	case AxisAncestorOrSelf:
+		return d.ancestors(dst, n, true)
+	case AxisFollowing:
+		return d.following(dst, n)
+	case AxisPreceding:
+		return d.preceding(dst, n)
+	case AxisFollowingSibling:
+		return d.siblings(dst, n, true)
+	case AxisPrecedingSibling:
+		return d.siblings(dst, n, false)
+	}
+	return d.extendedAxis(dst, a, n)
+}
+
+func (d *Document) children(dst []*dom.Node, n *dom.Node) []*dom.Node {
 	switch {
 	case n == d.Root:
-		return d.RootChildren()
+		return append(dst, d.rootKids...)
 	case n.Kind == dom.Text:
-		return append([]*dom.Node(nil), d.LeavesOf(n)...)
+		return append(dst, d.LeavesOf(n)...)
 	case n.Kind == dom.Element:
-		return append([]*dom.Node(nil), n.Children...)
+		return append(dst, n.Children...)
 	}
-	return nil
+	return dst
 }
 
-func (d *Document) descendants(n *dom.Node, self bool) []*dom.Node {
-	var out []*dom.Node
+func (d *Document) descendants(dst []*dom.Node, n *dom.Node, self bool) []*dom.Node {
 	if self {
-		out = append(out, n)
+		dst = append(dst, n)
 	}
 	switch {
 	case n == d.Root:
 		for _, h := range d.Hiers {
-			out = append(out, h.Nodes...)
+			dst = append(dst, h.Nodes...)
 		}
-		out = append(out, d.Leaves...)
+		dst = append(dst, d.Leaves...)
 	case n.Kind == dom.Text:
-		out = append(out, d.LeavesOf(n)...)
+		dst = append(dst, d.LeavesOf(n)...)
 	case n.Kind == dom.Element && n.Hier != "":
 		h := d.byName[n.Hier]
 		if h == nil || n.Ord >= len(h.Nodes) || h.Nodes[n.Ord] != n {
 			// Constructed tree: plain recursive walk.
-			return d.constructedDescendants(n, out)
+			return d.constructedDescendants(n, dst)
 		}
-		out = append(out, h.Nodes[n.Ord+1:n.Last+1]...)
-		out = append(out, d.LeavesOf(n)...)
+		dst = append(dst, h.Nodes[n.Ord+1:n.Last+1]...)
+		dst = append(dst, d.LeavesOf(n)...)
 	case n.Kind == dom.Element:
-		return d.constructedDescendants(n, out)
+		return d.constructedDescendants(n, dst)
 	}
-	return out
+	return dst
 }
 
 func (d *Document) constructedDescendants(n *dom.Node, out []*dom.Node) []*dom.Node {
@@ -174,110 +243,106 @@ func (d *Document) constructedDescendants(n *dom.Node, out []*dom.Node) []*dom.N
 	return out
 }
 
-func (d *Document) parents(n *dom.Node) []*dom.Node {
+func (d *Document) parents(dst []*dom.Node, n *dom.Node) []*dom.Node {
 	switch {
 	case n == d.Root:
-		return nil
+		return dst
 	case n.Kind == dom.Leaf:
-		return append([]*dom.Node(nil), n.LeafParents...)
+		return append(dst, n.LeafParents...)
 	case n.Parent != nil:
-		return []*dom.Node{n.Parent}
+		return append(dst, n.Parent)
 	}
-	return nil
+	return dst
 }
 
-func (d *Document) ancestors(n *dom.Node, self bool) []*dom.Node {
-	var out []*dom.Node
+func (d *Document) ancestors(dst []*dom.Node, n *dom.Node, self bool) []*dom.Node {
 	if self {
-		out = append(out, n)
+		dst = append(dst, n)
 	}
 	if n.Kind == dom.Leaf {
+		base := len(dst)
 		seen := map[*dom.Node]bool{}
 		for _, p := range n.LeafParents {
 			for q := p; q != nil; q = q.Parent {
 				if !seen[q] {
 					seen[q] = true
-					out = append(out, q)
+					dst = append(dst, q)
 				}
 			}
 		}
 		// Nearest-first across hierarchies: sort by depth is ambiguous;
 		// we use reverse document order, which puts the shared root last.
-		tail := out
-		if self {
-			tail = out[1:]
-		}
+		tail := dst[base:]
 		SortDoc(tail)
 		for i, j := 0, len(tail)-1; i < j; i, j = i+1, j-1 {
 			tail[i], tail[j] = tail[j], tail[i]
 		}
-		return out
+		return dst
 	}
 	for p := n.Parent; p != nil; p = p.Parent {
-		out = append(out, p)
+		dst = append(dst, p)
 	}
-	return out
+	return dst
 }
 
-func (d *Document) following(n *dom.Node) []*dom.Node {
+func (d *Document) following(dst []*dom.Node, n *dom.Node) []*dom.Node {
 	switch {
 	case n == d.Root:
-		return nil
+		return dst
 	case n.Kind == dom.Leaf:
-		return append([]*dom.Node(nil), d.Leaves[min(n.Ord+1, len(d.Leaves)):]...)
+		return append(dst, d.Leaves[min(n.Ord+1, len(d.Leaves)):]...)
 	case n.Kind == dom.Attribute:
 		if n.Parent != nil {
-			return d.following(n.Parent)
+			return d.following(dst, n.Parent)
 		}
-		return nil
+		return dst
 	case n.Hier != "":
 		if h := d.byName[n.Hier]; h != nil && n.Last+1 <= len(h.Nodes) {
-			return append([]*dom.Node(nil), h.Nodes[n.Last+1:]...)
+			return append(dst, h.Nodes[n.Last+1:]...)
 		}
 	}
-	return nil
+	return dst
 }
 
-func (d *Document) preceding(n *dom.Node) []*dom.Node {
-	var out []*dom.Node
+func (d *Document) preceding(dst []*dom.Node, n *dom.Node) []*dom.Node {
 	switch {
 	case n == d.Root:
-		return nil
+		return dst
 	case n.Kind == dom.Leaf:
 		for i := min(n.Ord, len(d.Leaves)) - 1; i >= 0; i-- {
-			out = append(out, d.Leaves[i])
+			dst = append(dst, d.Leaves[i])
 		}
-		return out
+		return dst
 	case n.Kind == dom.Attribute:
 		if n.Parent != nil {
-			return d.preceding(n.Parent)
+			return d.preceding(dst, n.Parent)
 		}
-		return nil
+		return dst
 	case n.Hier != "":
 		h := d.byName[n.Hier]
 		if h == nil {
-			return nil
+			return dst
 		}
 		for i := n.Ord - 1; i >= 0; i-- {
 			m := h.Nodes[i]
 			if m.Last >= n.Ord { // ancestor, not preceding
 				continue
 			}
-			out = append(out, m)
+			dst = append(dst, m)
 		}
 	}
-	return out
+	return dst
 }
 
-func (d *Document) siblings(n *dom.Node, forward bool) []*dom.Node {
+func (d *Document) siblings(dst []*dom.Node, n *dom.Node, forward bool) []*dom.Node {
 	if n == d.Root || n.Kind == dom.Attribute {
-		return nil
+		return dst
 	}
 	if n.Kind == dom.Leaf {
 		if forward {
-			return d.following(n)
+			return d.following(dst, n)
 		}
-		return d.preceding(n)
+		return d.preceding(dst, n)
 	}
 	var sibs []*dom.Node
 	if n.Parent == d.Root {
@@ -295,17 +360,15 @@ func (d *Document) siblings(n *dom.Node, forward bool) []*dom.Node {
 		}
 	}
 	if idx < 0 {
-		return nil
+		return dst
 	}
-	var out []*dom.Node
 	if forward {
-		out = append(out, sibs[idx+1:]...)
-	} else {
-		for i := idx - 1; i >= 0; i-- {
-			out = append(out, sibs[i])
-		}
+		return append(dst, sibs[idx+1:]...)
 	}
-	return out
+	for i := idx - 1; i >= 0; i-- {
+		dst = append(dst, sibs[i])
+	}
+	return dst
 }
 
 // --- Extended axes (Definition 1), interval implementation -------------
@@ -384,33 +447,33 @@ func (d *Document) inAncestorOrSelf(n, m *dom.Node) bool {
 // extendedAxis dispatches a Definition 1 axis to the indexed
 // implementation (axesidx.go); the degenerate empty-leaf-set cases keep
 // the literal ∅-semantics via the full scan.
-func (d *Document) extendedAxis(a Axis, n *dom.Node) []*dom.Node {
+func (d *Document) extendedAxis(dst []*dom.Node, a Axis, n *dom.Node) []*dom.Node {
 	if !d.spanNode(n) {
-		return nil
+		return dst
 	}
 	switch a {
 	case AxisXAncestor, AxisXDescendant:
 		if n != d.Root && emptySpan(n) {
-			return d.extendedScan(a, n)
+			return append(dst, d.extendedScan(a, n)...)
 		}
 		if a == AxisXAncestor {
-			return d.xancestorIdx(n)
+			return d.xancestorIdx(dst, n)
 		}
-		return d.xdescendantIdx(n)
+		return d.xdescendantIdx(dst, n)
 	default:
 		if emptySpan(n) {
-			return nil
+			return dst
 		}
 		switch a {
 		case AxisXFollowing:
-			return d.xfollowingIdx(n)
+			return d.xfollowingIdx(dst, n)
 		case AxisXPreceding:
-			return d.xprecedingIdx(n)
+			return d.xprecedingIdx(dst, n)
 		case AxisPrecedingOverlapping, AxisFollowingOverlapping, AxisOverlapping:
-			return d.overlapIdx(a, n)
+			return d.overlapIdx(dst, a, n)
 		}
 	}
-	return nil
+	return dst
 }
 
 // EvalScan evaluates an extended axis with the unindexed O(N) interval

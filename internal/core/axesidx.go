@@ -26,7 +26,9 @@ import (
 // semantic reference; property tests require all three to agree exactly.
 
 // chainAt returns the nodes of hierarchy h whose span contains position p
-// (outermost first): the containment chain.
+// (outermost first): the containment chain. The axis implementations
+// below inline this descent (appendChain) to keep the hot path
+// allocation-free; chainAt remains for diagnostic callers.
 func chainAt(h *Hierarchy, p int) []*dom.Node {
 	var out []*dom.Node
 	kids := h.Top
@@ -43,6 +45,28 @@ func chainAt(h *Hierarchy, p int) []*dom.Node {
 		kids = n.Children
 	}
 	return out
+}
+
+// appendChain appends the containment chain of hierarchy h at position p
+// (outermost first) to dst, keeping only nodes passing keep — the
+// allocation-free form of "filter chainAt".
+func appendChain(dst []*dom.Node, h *Hierarchy, p int, keep func(*dom.Node) bool) []*dom.Node {
+	kids := h.Top
+	for len(kids) > 0 {
+		i := coveringIndex(kids, p)
+		if i < 0 {
+			break
+		}
+		n := kids[i]
+		if keep(n) {
+			dst = append(dst, n)
+		}
+		if n.Kind != dom.Element {
+			break
+		}
+		kids = n.Children
+	}
+	return dst
 }
 
 // coveringIndex finds the sibling whose span contains p. Sibling spans
@@ -96,31 +120,31 @@ func reverseNodes(out []*dom.Node) {
 	}
 }
 
-func (d *Document) xancestorIdx(n *dom.Node) []*dom.Node {
+// The idx implementations append into a caller-owned buffer (AppendAxis
+// contract): reversals and sorts operate on the appended tail only.
+
+func (d *Document) xancestorIdx(dst []*dom.Node, n *dom.Node) []*dom.Node {
 	if n == d.Root {
-		return nil
+		return dst
 	}
-	out := []*dom.Node{d.Root}
+	base := len(dst)
+	dst = append(dst, d.Root)
+	keep := func(m *dom.Node) bool { return m.End >= n.End && !d.inDescendantOrSelf(n, m) }
 	for _, h := range d.Hiers {
-		for _, m := range chainAt(h, n.Start) {
-			if m.End >= n.End && !d.inDescendantOrSelf(n, m) {
-				out = append(out, m)
-			}
-		}
+		dst = appendChain(dst, h, n.Start, keep)
 	}
-	reverseNodes(out) // reverse axis: nearest first
-	return out
+	reverseNodes(dst[base:]) // reverse axis: nearest first
+	return dst
 }
 
-func (d *Document) xdescendantIdx(n *dom.Node) []*dom.Node {
-	var out []*dom.Node
+func (d *Document) xdescendantIdx(dst []*dom.Node, n *dom.Node) []*dom.Node {
 	if n == d.Root {
 		for _, h := range d.Hiers {
-			out = append(out, h.Nodes...)
+			dst = append(dst, h.Nodes...)
 		}
-		out = append(out, d.Leaves...)
-		return out
+		return append(dst, d.Leaves...)
 	}
+	base := len(dst)
 	for _, h := range d.Hiers {
 		for i := h.startIndex(n.Start); i < len(h.Nodes); i++ {
 			m := h.Nodes[i]
@@ -131,7 +155,7 @@ func (d *Document) xdescendantIdx(n *dom.Node) []*dom.Node {
 				continue // empty-span nodes handled below
 			}
 			if m.End <= n.End && !d.inAncestorOrSelf(n, m) {
-				out = append(out, m)
+				dst = append(dst, m)
 			}
 		}
 	}
@@ -139,50 +163,48 @@ func (d *Document) xdescendantIdx(n *dom.Node) []*dom.Node {
 	// so every empty-span node anywhere is an xdescendant.
 	for _, m := range d.empties {
 		if !d.inAncestorOrSelf(n, m) {
-			out = append(out, m)
+			dst = append(dst, m)
 		}
 	}
 	lo := d.leafLow(n.Start)
 	hi := d.leafCountEndingBy(n.End)
 	for i := lo; i < hi; i++ {
 		if d.Leaves[i] != n {
-			out = append(out, d.Leaves[i])
+			dst = append(dst, d.Leaves[i])
 		}
 	}
 	if len(d.empties) > 0 {
-		return SortDoc(out)
+		return dst[:base+len(SortDoc(dst[base:]))]
 	}
-	return out
+	return dst
 }
 
-func (d *Document) xfollowingIdx(n *dom.Node) []*dom.Node {
-	var out []*dom.Node
+func (d *Document) xfollowingIdx(dst []*dom.Node, n *dom.Node) []*dom.Node {
 	for _, h := range d.Hiers {
 		for i := h.startIndex(n.End); i < len(h.Nodes); i++ {
 			if m := h.Nodes[i]; !emptySpan(m) {
-				out = append(out, m)
+				dst = append(dst, m)
 			}
 		}
 	}
 	lo := d.leafLow(n.End)
-	out = append(out, d.Leaves[lo:]...)
-	return out
+	return append(dst, d.Leaves[lo:]...)
 }
 
-func (d *Document) xprecedingIdx(n *dom.Node) []*dom.Node {
-	var out []*dom.Node
+func (d *Document) xprecedingIdx(dst []*dom.Node, n *dom.Node) []*dom.Node {
+	base := len(dst)
 	for _, h := range d.Hiers {
 		k := sort.Search(len(h.byEnd), func(i int) bool { return h.byEnd[i].End > n.Start })
 		for _, m := range h.byEnd[:k] {
 			if !emptySpan(m) {
-				out = append(out, m)
+				dst = append(dst, m)
 			}
 		}
 	}
-	out = append(out, d.Leaves[:d.leafCountEndingBy(n.Start)]...)
-	out = SortDoc(out)
-	reverseNodes(out)
-	return out
+	dst = append(dst, d.Leaves[:d.leafCountEndingBy(n.Start)]...)
+	dst = dst[:base+len(SortDoc(dst[base:]))]
+	reverseNodes(dst[base:])
+	return dst
 }
 
 // overlapIdx serves preceding-overlapping, following-overlapping and
@@ -191,26 +213,20 @@ func (d *Document) xprecedingIdx(n *dom.Node) []*dom.Node {
 // n.End but starts inside n — both live on containment chains. Leaves
 // are atomic and the shared root spans everything, so neither ever
 // overlaps partially.
-func (d *Document) overlapIdx(a Axis, n *dom.Node) []*dom.Node {
-	var out []*dom.Node
+func (d *Document) overlapIdx(dst []*dom.Node, a Axis, n *dom.Node) []*dom.Node {
+	base := len(dst)
+	keepPre := func(m *dom.Node) bool { return m.Start < n.Start && m.End < n.End }
+	keepPost := func(m *dom.Node) bool { return m.Start > n.Start && m.Start < n.End && m.End > n.End }
 	for _, h := range d.Hiers {
 		if a != AxisFollowingOverlapping {
-			for _, m := range chainAt(h, n.Start) {
-				if m.Start < n.Start && m.End < n.End {
-					out = append(out, m)
-				}
-			}
+			dst = appendChain(dst, h, n.Start, keepPre)
 		}
 		if a != AxisPrecedingOverlapping {
-			for _, m := range chainAt(h, n.End) {
-				if m.Start > n.Start && m.Start < n.End && m.End > n.End {
-					out = append(out, m)
-				}
-			}
+			dst = appendChain(dst, h, n.End, keepPost)
 		}
 	}
 	if a.Reverse() {
-		reverseNodes(out)
+		reverseNodes(dst[base:])
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,6 @@
+package core
+
+// RecomputePartitionForTest re-runs the full partition derivation on the
+// document, overwriting whatever the incremental overlay path computed —
+// the equivalence oracle for TestQuickOverlayPartitionIncremental.
+func (d *Document) RecomputePartitionForTest() { d.partition() }

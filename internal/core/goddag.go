@@ -72,7 +72,66 @@ type Document struct {
 	// literal Definition 1, leaves(m)=∅ makes them xdescendants of
 	// every node.
 	empties []*dom.Node
+
+	// names interns element and attribute names to dense symbols
+	// (dom.Node.NameSym); symbols start at 1, 0 means "not interned".
+	// Overlay documents copy the base table so symbols stay comparable
+	// across the lineage.
+	names map[string]int32
+	// ordBase[i] is the document-order ordinal of Hiers[i].Nodes[0]; a
+	// hierarchy node's ordinal is ordBase[HierIndex]+Ord. The shared root
+	// has ordinal 0 and leaf i has ordinal leafBase+i, so ordinals
+	// enumerate the Definition 3 order 0..OrdinalSpace()-1 (attributes
+	// excepted — they share their owner's Ord and have no ordinal).
+	ordBase  []int
+	leafBase int
+	// rootKids caches RootChildren for axis evaluation.
+	rootKids []*dom.Node
 }
+
+// intern returns the symbol for name in the document's name table,
+// assigning the next free symbol on first sight.
+func (d *Document) intern(name string) int32 {
+	if s, ok := d.names[name]; ok {
+		return s
+	}
+	s := int32(len(d.names)) + 1
+	d.names[name] = s
+	return s
+}
+
+// NameSymOf returns the document's interned symbol for name, or 0 when
+// the name occurs nowhere in the document's markup.
+func (d *Document) NameSymOf(name string) int32 { return d.names[name] }
+
+// OrdinalOf returns n's position in the Definition 3 document order as a
+// dense integer in [0, OrdinalSpace()), or ok=false when n has no
+// ordinal in this document (attributes, constructed nodes, nodes of
+// other documents). Ownership is verified by direct array identity —
+// h.Nodes[n.Ord] == n — so the check costs two array indexings and no
+// hashing.
+func (d *Document) OrdinalOf(n *dom.Node) (int, bool) {
+	if n == d.Root {
+		return 0, true
+	}
+	if n.Kind == dom.Leaf {
+		if n.Ord < len(d.Leaves) && d.Leaves[n.Ord] == n {
+			return d.leafBase + n.Ord, true
+		}
+		return 0, false
+	}
+	if i := n.HierIndex; i >= 0 && i < len(d.Hiers) {
+		h := d.Hiers[i]
+		if n.Ord < len(h.Nodes) && h.Nodes[n.Ord] == n {
+			return d.ordBase[i] + n.Ord, true
+		}
+	}
+	return 0, false
+}
+
+// OrdinalSpace is the exclusive upper bound of OrdinalOf over this
+// document: 1 (root) + all hierarchy nodes + all leaves.
+func (d *Document) OrdinalSpace() int { return d.leafBase + len(d.Leaves) }
 
 // Build constructs the KyGODDAG for the given hierarchy encodings. It
 // verifies that all trees share the same root element name and encode the
@@ -98,10 +157,15 @@ func Build(trees []NamedTree) (*Document, error) {
 		return nil, err
 	}
 
-	d := &Document{Text: text, byName: make(map[string]*Hierarchy, len(trees))}
+	d := &Document{
+		Text:   text,
+		byName: make(map[string]*Hierarchy, len(trees)),
+		names:  make(map[string]int32),
+	}
 	root := dom.NewElement(roots[0].Name)
 	root.HierIndex = dom.RootHier
 	root.Start, root.End = 0, len(text)
+	root.NameSym = d.intern(root.Name)
 	d.Root = root
 
 	for i, t := range trees {
@@ -115,24 +179,32 @@ func Build(trees []NamedTree) (*Document, error) {
 			c.Parent = root
 			h.Top = append(h.Top, c)
 		}
-		indexHierarchy(h, i)
+		d.indexHierarchy(h, i)
 		d.Hiers = append(d.Hiers, h)
 		d.byName[h.Name] = h
+	}
+	for _, a := range root.Attrs {
+		a.NameSym = d.intern(a.Name)
 	}
 	d.partition()
 	return d, nil
 }
 
 // indexHierarchy assigns Hier/HierIndex/Ord/Last over the hierarchy's
-// nodes and fills h.Nodes in preorder.
-func indexHierarchy(h *Hierarchy, index int) {
+// nodes, interns element and attribute names, and fills h.Nodes in
+// preorder.
+func (d *Document) indexHierarchy(h *Hierarchy, index int) {
 	var visit func(n *dom.Node)
 	visit = func(n *dom.Node) {
 		n.Hier, n.HierIndex = h.Name, index
 		n.Ord = len(h.Nodes)
+		if n.Kind == dom.Element {
+			n.NameSym = d.intern(n.Name)
+		}
 		h.Nodes = append(h.Nodes, n)
 		for _, a := range n.Attrs {
 			a.Hier, a.HierIndex, a.Ord = n.Hier, n.HierIndex, n.Ord
+			a.NameSym = d.intern(a.Name)
 		}
 		for _, c := range n.Children {
 			visit(c)
@@ -190,6 +262,126 @@ func (d *Document) partition() {
 			}
 		}
 	}
+
+	d.finishLayout()
+	d.rootKids = d.RootChildren()
+}
+
+// finishLayout computes the ordinal layout (OrdinalOf) from the
+// registered hierarchies and leaf layer.
+func (d *Document) finishLayout() {
+	d.ordBase = make([]int, len(d.Hiers))
+	ord := 1 // 0 is the shared root
+	for i, h := range d.Hiers {
+		d.ordBase[i] = ord
+		ord += len(h.Nodes)
+	}
+	d.leafBase = ord
+}
+
+// partitionFrom computes the overlay's boundary array and leaf layer
+// incrementally from the base document: the new hierarchy's boundaries
+// split the base leaves, and each fragment inherits the covering base
+// leaf's parent links plus the covering text node of the new hierarchy.
+// This keeps an analyze-string overlay's cost proportional to the leaf
+// count instead of re-deriving every hierarchy's text→leaf edges — the
+// dominant cost of the paper's Query II/III evaluations. The result is
+// field-for-field what partition would compute.
+func (d *Document) partitionFrom(base *Document, h *Hierarchy) {
+	// Sorted, deduplicated boundary offsets contributed by the new
+	// hierarchy, merged with the base bounds (which already contain 0
+	// and len(Text)).
+	add := make([]int, 0, 2*len(h.Nodes))
+	for _, n := range h.Nodes {
+		add = append(add, n.Start, n.End)
+	}
+	sort.Ints(add)
+	w := 0
+	for i, b := range add {
+		if i == 0 || b != add[w-1] {
+			add[w] = b
+			w++
+		}
+	}
+	add = add[:w]
+
+	bounds := make([]int, 0, len(base.Bounds)+len(add))
+	i, j := 0, 0
+	for i < len(base.Bounds) || j < len(add) {
+		switch {
+		case j == len(add) || (i < len(base.Bounds) && base.Bounds[i] < add[j]):
+			bounds = append(bounds, base.Bounds[i])
+			i++
+		case i == len(base.Bounds) || add[j] < base.Bounds[i]:
+			bounds = append(bounds, add[j])
+			j++
+		default:
+			bounds = append(bounds, base.Bounds[i])
+			i, j = i+1, j+1
+		}
+	}
+	d.Bounds = bounds
+
+	// Leaf layer: every new leaf lies inside exactly one base leaf (the
+	// new bounds are a superset of the base bounds) and inherits its
+	// parent links. Unsplit, uncovered leaves share the base parent
+	// slice, which is never mutated after construction.
+	d.Leaves = make([]*dom.Node, 0, len(bounds)-1)
+	bi := 0
+	for k := 0; k+1 < len(bounds); k++ {
+		lo, hi := bounds[k], bounds[k+1]
+		leaf := &dom.Node{
+			Kind:      dom.Leaf,
+			Data:      d.Text[lo:hi],
+			Start:     lo,
+			End:       hi,
+			Ord:       k,
+			Last:      k,
+			HierIndex: dom.LeafHier,
+		}
+		for bi < len(base.Leaves) && base.Leaves[bi].End <= lo {
+			bi++
+		}
+		if bi < len(base.Leaves) && base.Leaves[bi].Start <= lo && hi <= base.Leaves[bi].End {
+			leaf.LeafParents = base.Leaves[bi].LeafParents
+		}
+		d.Leaves = append(d.Leaves, leaf)
+	}
+
+	// Text nodes of the new hierarchy adopt their covered fragments
+	// (copy-on-append: the inherited slices stay shared with the base).
+	for _, n := range h.Nodes {
+		if n.Kind != dom.Text {
+			continue
+		}
+		lo := sort.SearchInts(bounds, n.Start)
+		hi := sort.SearchInts(bounds, n.End)
+		for k := lo; k < hi; k++ {
+			l := d.Leaves[k]
+			np := make([]*dom.Node, len(l.LeafParents)+1)
+			copy(np, l.LeafParents)
+			np[len(np)-1] = n
+			l.LeafParents = np
+		}
+	}
+
+	// Empty-span nodes: the base's plus the new hierarchy's, in the
+	// same hierarchy-scan order partition produces.
+	var newEmpties []*dom.Node
+	for _, n := range h.Nodes {
+		if n.Start >= n.End {
+			newEmpties = append(newEmpties, n)
+		}
+	}
+	d.empties = base.empties
+	if len(newEmpties) > 0 {
+		d.empties = make([]*dom.Node, 0, len(base.empties)+len(newEmpties))
+		d.empties = append(append(d.empties, base.empties...), newEmpties...)
+	}
+
+	d.finishLayout()
+	d.rootKids = make([]*dom.Node, 0, len(base.rootKids)+len(h.Top))
+	d.rootKids = append(append(d.rootKids, base.rootKids...), h.Top...)
 }
 
 // LeafRange returns the half-open leaf-index interval [lo,hi) covered by
@@ -282,16 +474,23 @@ func (d *Document) AddHierarchy(name string, top *dom.Node, temp bool) (*Documen
 		Root:   d.Root,
 		Base:   d,
 		byName: make(map[string]*Hierarchy, len(d.Hiers)+1),
+		names:  make(map[string]int32, len(d.names)+4),
+	}
+	// Copy the base name table (never mutate it: the base document stays
+	// live and may be queried concurrently) so shared nodes keep
+	// consistent symbols in the overlay.
+	for s, sym := range d.names {
+		nd.names[s] = sym
 	}
 	nd.Hiers = append(nd.Hiers, d.Hiers...)
 	h := &Hierarchy{Name: name, Index: len(nd.Hiers), Temp: temp, Top: []*dom.Node{top}}
 	top.Parent = d.Root
-	indexHierarchy(h, h.Index)
+	nd.indexHierarchy(h, h.Index)
 	nd.Hiers = append(nd.Hiers, h)
 	for _, hh := range nd.Hiers {
 		nd.byName[hh.Name] = hh
 	}
-	nd.partition()
+	nd.partitionFrom(d, h)
 	return nd, nil
 }
 
@@ -334,8 +533,20 @@ func (d *Document) Stats() Stats {
 }
 
 // SortDoc sorts nodes in the Definition 3 document order and removes
-// duplicates in place, returning the shortened slice.
+// duplicates in place, returning the shortened slice. A strictly
+// ascending input (the common case now that axis results carry order
+// contracts) is detected in one O(k) pass and returned untouched.
 func SortDoc(nodes []*dom.Node) []*dom.Node {
+	ascending := true
+	for i := 1; i < len(nodes); i++ {
+		if dom.Compare(nodes[i-1], nodes[i]) >= 0 {
+			ascending = false
+			break
+		}
+	}
+	if ascending {
+		return nodes
+	}
 	sort.SliceStable(nodes, func(i, j int) bool { return dom.Compare(nodes[i], nodes[j]) < 0 })
 	out := nodes[:0]
 	var prev *dom.Node

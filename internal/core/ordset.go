@@ -1,0 +1,80 @@
+package core
+
+import "mhxquery/internal/dom"
+
+// OrdinalSet is a reusable scatter buffer over a document's ordinal
+// space (OrdinalOf): nodes are slotted by ordinal, which sorts and
+// deduplicates a node set in O(k + range) array writes — no comparator,
+// no hashing. It replaces comparison sorting in the query evaluator's
+// step pipeline whenever every node carries a document ordinal.
+//
+// The zero value is ready for use; Reset binds it to a document. An
+// OrdinalSet is not safe for concurrent use (the evaluator owns one per
+// evaluation).
+type OrdinalSet struct {
+	doc      *Document
+	slots    []*dom.Node
+	min, max int
+	n        int
+}
+
+// Reset binds the set to d and empties it. The slot array is grown as
+// needed and kept across calls, so steady-state inserts allocate
+// nothing.
+func (s *OrdinalSet) Reset(d *Document) {
+	if space := d.OrdinalSpace(); len(s.slots) < space {
+		s.slots = make([]*dom.Node, space)
+	}
+	s.doc = d
+	s.min, s.max = len(s.slots), -1
+	s.n = 0
+}
+
+// Add slots n by its document ordinal, deduplicating by node identity.
+// It reports false — leaving the set unchanged — when n has no ordinal
+// in the bound document (attributes, constructed nodes, nodes of other
+// documents); the caller then falls back to comparison sorting after
+// Clear.
+func (s *OrdinalSet) Add(node *dom.Node) bool {
+	ord, ok := s.doc.OrdinalOf(node)
+	if !ok {
+		return false
+	}
+	if s.slots[ord] == nil {
+		s.slots[ord] = node
+		s.n++
+		if ord < s.min {
+			s.min = ord
+		}
+		if ord > s.max {
+			s.max = ord
+		}
+	}
+	return true
+}
+
+// Len returns the number of distinct nodes in the set.
+func (s *OrdinalSet) Len() int { return s.n }
+
+// Drain calls fn for every node in ascending document order and empties
+// the set.
+func (s *OrdinalSet) Drain(fn func(*dom.Node)) {
+	for ord := s.min; ord <= s.max; ord++ {
+		if node := s.slots[ord]; node != nil {
+			s.slots[ord] = nil
+			fn(node)
+		}
+	}
+	s.min, s.max = len(s.slots), -1
+	s.n = 0
+}
+
+// Clear empties the set without draining it (the bail-out path when an
+// Add failed partway through a batch).
+func (s *OrdinalSet) Clear() {
+	for ord := s.min; ord <= s.max; ord++ {
+		s.slots[ord] = nil
+	}
+	s.min, s.max = len(s.slots), -1
+	s.n = 0
+}

@@ -335,6 +335,210 @@ func TestQuickOverlayPreservesBase(t *testing.T) {
 	}
 }
 
+var allAxes = []core.Axis{
+	core.AxisChild, core.AxisDescendant, core.AxisDescendantOrSelf,
+	core.AxisParent, core.AxisAncestor, core.AxisAncestorOrSelf,
+	core.AxisFollowing, core.AxisPreceding, core.AxisFollowingSibling,
+	core.AxisPrecedingSibling, core.AxisSelf, core.AxisAttribute,
+	core.AxisXDescendant, core.AxisXAncestor, core.AxisXFollowing,
+	core.AxisXPreceding, core.AxisPrecedingOverlapping,
+	core.AxisFollowingOverlapping, core.AxisOverlapping,
+}
+
+// TestQuickAxisOrderContracts checks the order contract the query
+// pipeline builds on: for every axis and every node of random documents,
+// Eval emits a duplicate-free result that is strictly ascending
+// (EmitsDocOrder) or strictly descending (EmitsReverseDocOrder) in the
+// Definition 3 document order.
+func TestQuickAxisOrderContracts(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := buildRandom(seed)
+		if err != nil {
+			return false
+		}
+		for _, n := range allNodesOf(d) {
+			for _, ax := range allAxes {
+				res := d.Eval(ax, n)
+				want := -1 // strictly ascending
+				if ax.Order() == core.EmitsReverseDocOrder {
+					want = 1 // strictly descending
+				}
+				for i := 1; i < len(res); i++ {
+					if c := dom.Compare(res[i-1], res[i]); c == 0 || (c > 0) != (want > 0) {
+						t.Logf("seed %d: %s(%s) violates order contract at %d (cmp=%d)",
+							seed, ax, n.Kind, i, c)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrdinalIdentity checks OrdinalOf: a dense bijection over
+// root + hierarchy nodes + leaves that is monotone in the Definition 3
+// order, with attributes and foreign nodes excluded.
+func TestQuickOrdinalIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := buildRandom(seed)
+		if err != nil {
+			return false
+		}
+		nodes := allNodesOf(d) // already root, hiers in order, leaves
+		if len(nodes) != d.OrdinalSpace() {
+			t.Logf("seed %d: %d nodes but ordinal space %d", seed, len(nodes), d.OrdinalSpace())
+			return false
+		}
+		prev := -1
+		for _, n := range nodes {
+			ord, ok := d.OrdinalOf(n)
+			if !ok {
+				t.Logf("seed %d: node without ordinal", seed)
+				return false
+			}
+			if ord <= prev || ord >= d.OrdinalSpace() {
+				t.Logf("seed %d: ordinal %d not monotone/dense after %d", seed, ord, prev)
+				return false
+			}
+			prev = ord
+			for _, a := range n.Attrs {
+				if _, ok := d.OrdinalOf(a); ok {
+					t.Logf("seed %d: attribute has an ordinal", seed)
+					return false
+				}
+			}
+		}
+		// Foreign nodes (same shape, different document) have none.
+		d2, err := buildRandom(seed)
+		if err != nil {
+			return false
+		}
+		for _, n := range allNodesOf(d2) {
+			if n == d2.Root {
+				continue
+			}
+			if _, ok := d.OrdinalOf(n); ok {
+				t.Logf("seed %d: foreign node got an ordinal", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrdinalSetMatchesSortDoc checks that the ordinal scatter set
+// sorts and deduplicates exactly like SortDoc for ordinal-able nodes.
+func TestQuickOrdinalSetMatchesSortDoc(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := buildRandom(seed)
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed ^ 0x0ddba11))
+		nodes := allNodesOf(d)
+		sample := make([]*dom.Node, 0, 40)
+		for i := 0; i < 40; i++ {
+			sample = append(sample, nodes[r.Intn(len(nodes))]) // duplicates likely
+		}
+		var os core.OrdinalSet
+		os.Reset(d)
+		for _, n := range sample {
+			if !os.Add(n) {
+				return false
+			}
+		}
+		var got []*dom.Node
+		os.Drain(func(n *dom.Node) { got = append(got, n) })
+		want := core.SortDoc(append([]*dom.Node(nil), sample...))
+		if len(got) != len(want) {
+			t.Logf("seed %d: ordinal set %d nodes, SortDoc %d", seed, len(got), len(want))
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Reusable: a second batch on the drained set must work.
+		os.Reset(d)
+		if !os.Add(d.Root) || os.Len() != 1 {
+			return false
+		}
+		os.Clear()
+		return os.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOverlayPartitionIncremental checks that the incremental
+// overlay partition (partitionFrom) is field-for-field what the full
+// recompute produces: bounds, leaf layer, parent links, empties and
+// ordinal layout.
+func TestQuickOverlayPartitionIncremental(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := buildRandom(seed)
+		if err != nil {
+			return false
+		}
+		if len(d.Text) < 2 {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed ^ 0x1ea5))
+		s := r.Intn(len(d.Text) - 1)
+		e := s + 1 + r.Intn(len(d.Text)-s-1)
+		top := dom.NewElement("res")
+		top.Start, top.End = s, e
+		mid := s + (e-s)/2
+		t1 := dom.NewText(d.Text[s:mid])
+		t1.Start, t1.End = s, mid
+		t2 := dom.NewText(d.Text[mid:e])
+		t2.Start, t2.End = mid, e
+		top.AppendChild(t1)
+		top.AppendChild(t2)
+		od, err := d.AddHierarchy("rest", top, true)
+		if err != nil {
+			t.Logf("seed %d: overlay: %v", seed, err)
+			return false
+		}
+		type leafShape struct {
+			start, end int
+			data       string
+			parents    string
+		}
+		shape := func(doc *core.Document) (bounds []int, leaves []leafShape) {
+			bounds = append(bounds, doc.Bounds...)
+			for _, l := range doc.Leaves {
+				var p strings.Builder
+				for _, q := range l.LeafParents {
+					fmt.Fprintf(&p, "%s:%d;", q.Hier, q.Ord)
+				}
+				leaves = append(leaves, leafShape{l.Start, l.End, l.Data, p.String()})
+			}
+			return
+		}
+		gotB, gotL := shape(od)
+		od.RecomputePartitionForTest()
+		wantB, wantL := shape(od)
+		if fmt.Sprint(gotB) != fmt.Sprint(wantB) || fmt.Sprint(gotL) != fmt.Sprint(wantL) {
+			t.Logf("seed %d: incremental partition differs from full recompute", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestGeneratedCorpusAxesAgree runs the fast-vs-reference check on one
 // realistic generated manuscript (all four hierarchy shapes).
 func TestGeneratedCorpusAxesAgree(t *testing.T) {

@@ -70,6 +70,12 @@ type Node struct {
 
 	// Name is the element name, attribute name or PI target.
 	Name string
+	// NameSym is the per-document interned symbol for Name, assigned when
+	// the node is indexed into a KyGODDAG (package core); 0 means "not
+	// interned" (constructed result trees), in which case consumers must
+	// compare Name strings. Symbols are only comparable within one
+	// document lineage (a base document and its overlays share a table).
+	NameSym int32
 	// Data is the text content (Text, Comment, Leaf), attribute value or
 	// PI body.
 	Data string

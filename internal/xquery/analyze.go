@@ -150,11 +150,11 @@ func fnAnalyzeString(c *context, args []Seq) (Seq, error) {
 	if n.Start < 0 || n.End > len(d.Text) || n.Start > n.End {
 		return nil, errf("MHXQ0003", "analyze-string: node has no valid span in the base text")
 	}
-	pat, err := oneString(args, 1)
+	pat, err := oneString(c, args, 1)
 	if err != nil {
 		return nil, err
 	}
-	flags, err := oneString(args, 2)
+	flags, err := oneString(c, args, 2)
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,15 @@ type evalState struct {
 	// this evaluation, so axis steps on their nodes dispatch to the
 	// owning document rather than the active one.
 	extra []*core.Document
+
+	// axisBuf is the reusable axis-candidate buffer of the step pipeline
+	// (AppendAxis destination), shared across context nodes and steps —
+	// candidates are consumed into the step output before any nested
+	// evaluation can run.
+	axisBuf []*dom.Node
+	// ordSet is the reusable ordinal scatter buffer that restores
+	// document order over interleaved step results.
+	ordSet core.OrdinalSet
 }
 
 // addExtra records a document loaded by doc()/collection().
@@ -92,12 +101,6 @@ func (c *context) bind(name string, val Seq) *context {
 	return &nc
 }
 
-func (c *context) withItem(it Item, pos, size int) *context {
-	nc := *c
-	nc.item, nc.pos, nc.size = it, pos, size
-	return &nc
-}
-
 func (c *context) lookup(name string) (Seq, bool) {
 	for f := c.vars; f != nil; f = f.next {
 		if f.name == name {
@@ -107,9 +110,50 @@ func (c *context) lookup(name string) (Seq, bool) {
 	return nil, false
 }
 
+// stringOf is the string value of a node with the document shortcut: a
+// document-owned element's string value is a slice of the base text
+// (node.go: TextContent of a KyGODDAG node equals S[n.Start:n.End]), so
+// no tree walk and no string building. Nodes without ordinals
+// (constructed trees) fall back to TextContent.
+func (st *evalState) stringOf(n *dom.Node) string {
+	if n.Kind == dom.Element {
+		d := st.docFor(n)
+		if _, ok := d.OrdinalOf(n); ok {
+			return d.Text[n.Start:n.End]
+		}
+	}
+	return n.TextContent()
+}
+
+// atomize is the context-aware atomization: nodes become their string
+// value via the base-text shortcut, atomics pass through.
+func (c *context) atomize(it Item) Item {
+	if n, ok := it.(*dom.Node); ok {
+		return c.st.stringOf(n)
+	}
+	return it
+}
+
+// atomizeSeq atomizes every item, context-aware.
+func (c *context) atomizeSeq(s Seq) Seq {
+	out := make(Seq, len(s))
+	for i, it := range s {
+		out[i] = c.atomize(it)
+	}
+	return out
+}
+
+// stringItem is stringValue with the base-text shortcut for nodes.
+func stringItem(c *context, it Item) string {
+	if n, ok := it.(*dom.Node); ok {
+		return c.st.stringOf(n)
+	}
+	return stringValue(it)
+}
+
 // ---- leaf expressions ----------------------------------------------------
 
-func (e *literalExpr) eval(*context) (Seq, error) { return singleton(e.v), nil }
+func (e *literalExpr) eval(*context) (Seq, error) { return e.seq, nil }
 
 func (e *rawTextExpr) eval(*context) (Seq, error) { return singleton(e.s), nil }
 
@@ -170,7 +214,7 @@ func evalNumber(c *context, e expr, what string) (f float64, empty bool, err err
 	if err != nil {
 		return 0, false, err
 	}
-	v = atomizeSeq(v)
+	v = c.atomizeSeq(v)
 	switch len(v) {
 	case 0:
 		return 0, true, nil
@@ -192,14 +236,14 @@ func (e *orExpr) eval(c *context) (Seq, error) {
 		return nil, err
 	}
 	if ba {
-		return singleton(true), nil
+		return seqTrue, nil
 	}
 	vb, err := e.b.eval(c)
 	if err != nil {
 		return nil, err
 	}
 	bb, err := ebv(vb)
-	return singleton(bb), err
+	return singletonBool(bb), err
 }
 
 func (e *andExpr) eval(c *context) (Seq, error) {
@@ -212,14 +256,14 @@ func (e *andExpr) eval(c *context) (Seq, error) {
 		return nil, err
 	}
 	if !ba {
-		return singleton(false), nil
+		return seqFalse, nil
 	}
 	vb, err := e.b.eval(c)
 	if err != nil {
 		return nil, err
 	}
 	bb, err := ebv(vb)
-	return singleton(bb), err
+	return singletonBool(bb), err
 }
 
 func (e *cmpExpr) eval(c *context) (Seq, error) {
@@ -243,36 +287,35 @@ func (e *cmpExpr) eval(c *context) (Seq, error) {
 		}
 		switch e.op {
 		case "is":
-			return singleton(na == nb), nil
+			return singletonBool(na == nb), nil
 		case "<<":
-			return singleton(dom.Compare(na, nb) < 0), nil
+			return singletonBool(dom.Compare(na, nb) < 0), nil
 		default:
-			return singleton(dom.Compare(na, nb) > 0), nil
+			return singletonBool(dom.Compare(na, nb) > 0), nil
 		}
 	case cmpValue:
-		aa, bb := atomizeSeq(va), atomizeSeq(vb)
-		if len(aa) == 0 || len(bb) == 0 {
+		if len(va) == 0 || len(vb) == 0 {
 			return Seq{}, nil
 		}
-		if len(aa) > 1 || len(bb) > 1 {
+		if len(va) > 1 || len(vb) > 1 {
 			return nil, errf("XPTY0004", "operands of %q must be single values", e.op)
 		}
-		cres, ok := compareAtomic(e.op, aa[0], bb[0])
+		cres, ok := compareAtomic(e.op, c.atomize(va[0]), c.atomize(vb[0]))
 		if !ok {
-			return singleton(false), nil
+			return seqFalse, nil
 		}
-		return singleton(applyCmp(e.op, cres)), nil
+		return singletonBool(applyCmp(e.op, cres)), nil
 	}
 	// General comparison: existential over both sequences.
 	for _, ia := range va {
 		for _, ib := range vb {
-			cres, ok := compareAtomic(e.op, atomize(ia), atomize(ib))
+			cres, ok := compareAtomic(e.op, c.atomize(ia), c.atomize(ib))
 			if ok && applyCmp(e.op, cres) {
-				return singleton(true), nil
+				return seqTrue, nil
 			}
 		}
 	}
-	return singleton(false), nil
+	return seqFalse, nil
 }
 
 // ---- arithmetic ------------------------------------------------------------
@@ -412,7 +455,7 @@ func (q *quantExpr) eval(c *context) (Seq, error) {
 	if err != nil {
 		return nil, err
 	}
-	return singleton(b), nil
+	return singletonBool(b), nil
 }
 
 func (q *quantExpr) walk(c *context, i int) (bool, error) {
@@ -469,7 +512,7 @@ func (f *flworExpr) eval(c *context) (Seq, error) {
 			if err != nil {
 				return err
 			}
-			keys[i] = atomizeSeq(v)
+			keys[i] = c2.atomizeSeq(v)
 		}
 		tups = append(tups, tup{c: c2, keys: keys})
 		return nil
@@ -565,6 +608,9 @@ func (f *flworExpr) run(c *context, idx int, emit func(*context) error) error {
 // ---- function calls ---------------------------------------------------------------
 
 func (e *callExpr) eval(c *context) (Seq, error) {
+	if len(e.args) == 0 { // position(), last(), true(), …: no arg slice
+		return e.fn.fn(c, nil)
+	}
 	args := make([]Seq, len(e.args))
 	for i, a := range e.args {
 		v, err := a.eval(c)
@@ -578,16 +624,56 @@ func (e *callExpr) eval(c *context) (Seq, error) {
 
 // ---- filters and paths --------------------------------------------------------------
 
+// constNumPred recognizes a predicate that is a bare numeric literal.
+// Such a predicate selects at most one item by position, so the per-item
+// evaluation loop can be short-circuited entirely — in particular an
+// out-of-range [7] no longer evaluates anything per item.
+func constNumPred(pr expr) (float64, bool) {
+	if lit, ok := pr.(*literalExpr); ok {
+		f, ok := lit.v.(float64)
+		return f, ok
+	}
+	return 0, false
+}
+
+// selectByConstPos applies a constant numeric predicate: the item at
+// position f when f is an integral in-range position, nothing otherwise
+// (the "keep iff position == f" rule evaluated once).
+func selectByConstPos(items Seq, f float64) Seq {
+	idx := int(f)
+	if float64(idx) != f || idx < 1 || idx > len(items) {
+		return items[:0]
+	}
+	items[0] = items[idx-1]
+	return items[:1]
+}
+
 // applyPredicates filters items by each predicate in turn; a predicate
 // evaluating to a single number selects by position, anything else by
-// effective boolean value.
+// effective boolean value. The input sequence is left untouched (the
+// filtering itself is delegated to the in-place variant on a copy).
 func applyPredicates(c *context, items Seq, preds []expr) (Seq, error) {
+	if len(preds) == 0 {
+		return items, nil
+	}
+	return applyPredicatesInPlace(c, append(Seq(nil), items...), preds)
+}
+
+// applyPredicatesInPlace is applyPredicates compacting into the items
+// slice itself (callers own the storage), so the step pipeline filters
+// without a per-context-node allocation.
+func applyPredicatesInPlace(c *context, items Seq, preds []expr) (Seq, error) {
 	for _, pr := range preds {
-		kept := make(Seq, 0, len(items))
+		if f, ok := constNumPred(pr); ok {
+			items = selectByConstPos(items, f)
+			continue
+		}
 		size := len(items)
+		w := 0
+		c2 := *c // one scratch context per predicate, mutated per item
 		for i, it := range items {
-			c2 := c.withItem(it, i+1, size)
-			v, err := pr.eval(c2)
+			c2.item, c2.pos, c2.size = it, i+1, size
+			v, err := pr.eval(&c2)
 			if err != nil {
 				return nil, err
 			}
@@ -602,10 +688,11 @@ func applyPredicates(c *context, items Seq, preds []expr) (Seq, error) {
 				return nil, err
 			}
 			if keep {
-				kept = append(kept, it)
+				items[w] = it
+				w++
 			}
 		}
-		items = kept
+		items = items[:w]
 	}
 	return items, nil
 }
@@ -653,50 +740,73 @@ func (p *pathExpr) eval(c *context) (Seq, error) {
 		cur = Seq{c.item}
 	}
 	for si, s := range p.steps {
-		var out Seq
-		if s.prim != nil {
-			size := len(cur)
-			for i, it := range cur {
-				c2 := c.withItem(it, i+1, size)
-				v, err := s.prim.eval(c2)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, v...)
-			}
-			if allNodes(out) {
-				out = sortDedupe(out)
-			} else if si != len(p.steps)-1 {
-				return nil, errf("XPTY0019", "intermediate path step yields atomic values")
-			}
-			cur = out
-			continue
+		var err error
+		switch {
+		case s.prim != nil:
+			cur, err = evalPrimStep(c, cur, s, si == len(p.steps)-1)
+		case debugNaiveSteps:
+			cur, err = evalStepRef(c, cur, s)
+		default:
+			cur, err = evalStep(c, cur, s)
 		}
-		for _, it := range cur {
-			n, ok := it.(*dom.Node)
-			if !ok {
-				return nil, errf("XPTY0019", "%s:: step applied to an atomic value", s.axis)
-			}
-			nodes := c.st.docFor(n).Eval(s.axis, n)
-			filtered := make(Seq, 0, len(nodes))
-			for _, m := range nodes {
-				match, err := matchTest(c, s.axis, m, s.test)
-				if err != nil {
-					return nil, err
-				}
-				if match {
-					filtered = append(filtered, m)
-				}
-			}
-			filtered, err := applyPredicates(c, filtered, s.preds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// evalPrimStep evaluates a primary-expression step ("$x/string(.)") once
+// per input item.
+func evalPrimStep(c *context, cur Seq, s *step, last bool) (Seq, error) {
+	var out Seq
+	size := len(cur)
+	c2 := *c // one scratch context, mutated per item
+	for i, it := range cur {
+		c2.item, c2.pos, c2.size = it, i+1, size
+		v, err := s.prim.eval(&c2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	if allNodes(out) {
+		out = sortDedupe(out)
+	} else if !last {
+		return nil, errf("XPTY0019", "intermediate path step yields atomic values")
+	}
+	return out, nil
+}
+
+// evalStepRef is the reference axis-step evaluator: filter every
+// candidate with matchTest, apply predicates, and restore document order
+// with a full comparison sort after the step. It is the semantic oracle
+// the pipeline (evalStep) is differential-tested against.
+func evalStepRef(c *context, cur Seq, s *step) (Seq, error) {
+	var out Seq
+	for _, it := range cur {
+		n, ok := it.(*dom.Node)
+		if !ok {
+			return nil, errf("XPTY0019", "%s:: step applied to an atomic value", s.axis)
+		}
+		nodes := c.st.docFor(n).Eval(s.axis, n)
+		filtered := make(Seq, 0, len(nodes))
+		for _, m := range nodes {
+			match, err := matchTest(c, s.axis, m, s.test)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, filtered...)
+			if match {
+				filtered = append(filtered, m)
+			}
 		}
-		cur = sortDedupe(out)
+		filtered, err := applyPredicates(c, filtered, s.preds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, filtered...)
 	}
-	return cur, nil
+	return sortDedupe(out), nil
 }
 
 // matchTest applies a node test (Definition 2, plus hierarchy-qualified
@@ -793,7 +903,7 @@ func (e *elemExpr) eval(c *context) (Seq, error) {
 				if i > 0 {
 					b.WriteByte(' ')
 				}
-				b.WriteString(stringValue(atomize(it)))
+				b.WriteString(stringItem(c, it))
 			}
 		}
 		el.SetAttr(a.name, b.String())
@@ -866,7 +976,7 @@ func (e *compCtorExpr) eval(c *context) (Seq, error) {
 		if err != nil {
 			return nil, err
 		}
-		v = atomizeSeq(v)
+		v = c.atomizeSeq(v)
 		if len(v) != 1 {
 			return nil, errf("XPTY0004", "computed constructor name must be a single value")
 		}

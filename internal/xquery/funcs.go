@@ -47,14 +47,14 @@ func argOrContext(c *context, args []Seq, i int) (Seq, error) {
 }
 
 // oneString extracts argument i as a string; the empty sequence yields "".
-func oneString(args []Seq, i int) (string, error) {
+func oneString(c *context, args []Seq, i int) (string, error) {
 	if i >= len(args) || len(args[i]) == 0 {
 		return "", nil
 	}
 	if len(args[i]) > 1 {
 		return "", errf("XPTY0004", "expected a single value, got a sequence of %d", len(args[i]))
 	}
-	return stringValue(args[i][0]), nil
+	return stringItem(c, args[i][0]), nil
 }
 
 // oneNode extracts argument i as a single node.
@@ -142,7 +142,7 @@ func contextDoc(c *context) *core.Document {
 // FODC0002/FODC0004 errors.
 func registerDocFuncs() {
 	register("doc", 1, 1, func(c *context, args []Seq) (Seq, error) {
-		name, err := oneString(args, 0)
+		name, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +157,7 @@ func registerDocFuncs() {
 		return singleton(d.Root), nil
 	})
 	register("collection", 0, 1, func(c *context, args []Seq) (Seq, error) {
-		pattern, err := oneString(args, 0)
+		pattern, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -189,7 +189,7 @@ func registerStringFuncs() {
 		if len(v) > 1 {
 			return nil, errf("XPTY0004", "string() of a sequence of %d items", len(v))
 		}
-		return singleton(stringValue(v[0])), nil
+		return singleton(stringItem(c, v[0])), nil
 	})
 	register("string-length", 0, 1, func(c *context, args []Seq) (Seq, error) {
 		v, err := argOrContext(c, args, 0)
@@ -198,7 +198,7 @@ func registerStringFuncs() {
 		}
 		s := ""
 		if len(v) > 0 {
-			s = stringValue(v[0])
+			s = stringItem(c, v[0])
 		}
 		return singleton(float64(len([]rune(s)))), nil
 	})
@@ -209,14 +209,14 @@ func registerStringFuncs() {
 		}
 		s := ""
 		if len(v) > 0 {
-			s = stringValue(v[0])
+			s = stringItem(c, v[0])
 		}
 		return singleton(strings.Join(strings.Fields(s), " ")), nil
 	})
 	register("concat", 2, -1, func(c *context, args []Seq) (Seq, error) {
 		var b strings.Builder
 		for i := range args {
-			s, err := oneString(args, i)
+			s, err := oneString(c, args, i)
 			if err != nil {
 				return nil, err
 			}
@@ -227,7 +227,7 @@ func registerStringFuncs() {
 	register("string-join", 1, 2, func(c *context, args []Seq) (Seq, error) {
 		sep := ""
 		if len(args) == 2 {
-			s, err := oneString(args, 1)
+			s, err := oneString(c, args, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -235,34 +235,34 @@ func registerStringFuncs() {
 		}
 		parts := make([]string, len(args[0]))
 		for i, it := range args[0] {
-			parts[i] = stringValue(atomize(it))
+			parts[i] = stringItem(c, it)
 		}
 		return singleton(strings.Join(parts, sep)), nil
 	})
 	register("upper-case", 1, 1, func(c *context, args []Seq) (Seq, error) {
-		s, err := oneString(args, 0)
+		s, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
 		return singleton(strings.ToUpper(s)), nil
 	})
 	register("lower-case", 1, 1, func(c *context, args []Seq) (Seq, error) {
-		s, err := oneString(args, 0)
+		s, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
 		return singleton(strings.ToLower(s)), nil
 	})
 	register("translate", 3, 3, func(c *context, args []Seq) (Seq, error) {
-		s, err := oneString(args, 0)
+		s, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
-		from, err := oneString(args, 1)
+		from, err := oneString(c, args, 1)
 		if err != nil {
 			return nil, err
 		}
-		to, err := oneString(args, 2)
+		to, err := oneString(c, args, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -296,7 +296,7 @@ func registerStringFuncs() {
 	register("starts-with", 2, 2, strPredicate(strings.HasPrefix))
 	register("ends-with", 2, 2, strPredicate(strings.HasSuffix))
 	register("substring", 2, 3, func(c *context, args []Seq) (Seq, error) {
-		s, err := oneString(args, 0)
+		s, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -324,11 +324,11 @@ func registerStringFuncs() {
 		return singleton(b.String()), nil
 	})
 	register("substring-before", 2, 2, func(c *context, args []Seq) (Seq, error) {
-		s, err := oneString(args, 0)
+		s, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
-		t, err := oneString(args, 1)
+		t, err := oneString(c, args, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -338,11 +338,11 @@ func registerStringFuncs() {
 		return singleton(""), nil
 	})
 	register("substring-after", 2, 2, func(c *context, args []Seq) (Seq, error) {
-		s, err := oneString(args, 0)
+		s, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
-		t, err := oneString(args, 1)
+		t, err := oneString(c, args, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -352,15 +352,15 @@ func registerStringFuncs() {
 		return singleton(""), nil
 	})
 	register("matches", 2, 3, func(c *context, args []Seq) (Seq, error) {
-		s, err := oneString(args, 0)
+		s, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
-		pat, err := oneString(args, 1)
+		pat, err := oneString(c, args, 1)
 		if err != nil {
 			return nil, err
 		}
-		flags, err := oneString(args, 2)
+		flags, err := oneString(c, args, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -368,22 +368,22 @@ func registerStringFuncs() {
 		if err != nil {
 			return nil, err
 		}
-		return singleton(re.MatchString(s)), nil
+		return singletonBool(re.MatchString(s)), nil
 	})
 	register("replace", 3, 4, func(c *context, args []Seq) (Seq, error) {
-		s, err := oneString(args, 0)
+		s, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
-		pat, err := oneString(args, 1)
+		pat, err := oneString(c, args, 1)
 		if err != nil {
 			return nil, err
 		}
-		repl, err := oneString(args, 2)
+		repl, err := oneString(c, args, 2)
 		if err != nil {
 			return nil, err
 		}
-		flags, err := oneString(args, 3)
+		flags, err := oneString(c, args, 3)
 		if err != nil {
 			return nil, err
 		}
@@ -394,15 +394,15 @@ func registerStringFuncs() {
 		return singleton(re.ReplaceAllString(s, repl)), nil
 	})
 	register("tokenize", 2, 3, func(c *context, args []Seq) (Seq, error) {
-		s, err := oneString(args, 0)
+		s, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
-		pat, err := oneString(args, 1)
+		pat, err := oneString(c, args, 1)
 		if err != nil {
 			return nil, err
 		}
-		flags, err := oneString(args, 2)
+		flags, err := oneString(c, args, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -420,15 +420,15 @@ func registerStringFuncs() {
 
 func strPredicate(pred func(string, string) bool) func(*context, []Seq) (Seq, error) {
 	return func(c *context, args []Seq) (Seq, error) {
-		a, err := oneString(args, 0)
+		a, err := oneString(c, args, 0)
 		if err != nil {
 			return nil, err
 		}
-		b, err := oneString(args, 1)
+		b, err := oneString(c, args, 1)
 		if err != nil {
 			return nil, err
 		}
-		return singleton(pred(a, b)), nil
+		return singletonBool(pred(a, b)), nil
 	}
 }
 
@@ -448,17 +448,17 @@ func registerSequenceFuncs() {
 		return singleton(float64(len(args[0]))), nil
 	})
 	register("empty", 1, 1, func(c *context, args []Seq) (Seq, error) {
-		return singleton(len(args[0]) == 0), nil
+		return singletonBool(len(args[0]) == 0), nil
 	})
 	register("exists", 1, 1, func(c *context, args []Seq) (Seq, error) {
-		return singleton(len(args[0]) > 0), nil
+		return singletonBool(len(args[0]) > 0), nil
 	})
 	register("not", 1, 1, func(c *context, args []Seq) (Seq, error) {
 		b, err := ebv(args[0])
 		if err != nil {
 			return nil, err
 		}
-		return singleton(!b), nil
+		return singletonBool(!b), nil
 	})
 	register("boolean", 1, 1, func(c *context, args []Seq) (Seq, error) {
 		b, err := ebv(args[0])
@@ -477,7 +477,7 @@ func registerSequenceFuncs() {
 		seen := map[string]bool{}
 		var out Seq
 		for _, it := range args[0] {
-			v := atomize(it)
+			v := c.atomize(it)
 			key := stringValue(v)
 			if _, isNum := v.(float64); isNum {
 				key = "#n:" + key
@@ -525,10 +525,10 @@ func registerSequenceFuncs() {
 		if len(args[1]) != 1 {
 			return nil, errf("XPTY0004", "index-of: search target must be a single value")
 		}
-		target := atomize(args[1][0])
+		target := c.atomize(args[1][0])
 		var out Seq
 		for i, it := range args[0] {
-			cres, ok := compareAtomic("=", atomize(it), target)
+			cres, ok := compareAtomic("=", c.atomize(it), target)
 			if ok && cres == 0 {
 				out = append(out, float64(i+1))
 			}
@@ -642,9 +642,9 @@ func minMaxFn(wantMin bool) func(*context, []Seq) (Seq, error) {
 		if len(args[0]) == 0 {
 			return Seq{}, nil
 		}
-		best := atomize(args[0][0])
+		best := c.atomize(args[0][0])
 		for _, it := range args[0][1:] {
-			v := atomize(it)
+			v := c.atomize(it)
 			cres, ok := compareForOrder(v, best)
 			if !ok {
 				continue
@@ -708,7 +708,7 @@ func registerNodeFuncs() {
 		return singleton((*dom.Node)(n.Root())), nil
 	})
 	register("data", 1, 1, func(c *context, args []Seq) (Seq, error) {
-		return atomizeSeq(args[0]), nil
+		return c.atomizeSeq(args[0]), nil
 	})
 	register("deep-equal", 2, 2, func(c *context, args []Seq) (Seq, error) {
 		if len(args[0]) != len(args[1]) {

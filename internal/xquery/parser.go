@@ -554,6 +554,7 @@ func (p *parser) finishStep(ax core.Axis, t nodeTest) *step {
 		s.preds = append(s.preds, p.parseExpr())
 		p.expect(tRBracket)
 	}
+	s.posSel = classifyPosSel(s.preds)
 	return s
 }
 
@@ -651,11 +652,11 @@ func (p *parser) parsePrimary() expr {
 	case tString:
 		v := p.tok.text
 		p.advance()
-		return &literalExpr{v: v}
+		return newLiteral(v)
 	case tNumber:
 		v := p.tok.num
 		p.advance()
-		return &literalExpr{v: v}
+		return newLiteral(v)
 	case tVar:
 		name := p.tok.text
 		p.advance()

@@ -29,6 +29,31 @@ type Seq []Item
 // singleton wraps one item.
 func singleton(it Item) Seq { return Seq{it} }
 
+// seqTrue and seqFalse are the shared boolean singletons. Sequences
+// returned by expressions are never mutated by consumers (the same
+// convention that lets varExpr return the bound sequence unchanged), so
+// boolean-valued expressions can avoid a per-evaluation allocation.
+var (
+	seqTrue  = Seq{true}
+	seqFalse = Seq{false}
+)
+
+// singletonBool returns the shared singleton for b.
+func singletonBool(b bool) Seq {
+	if b {
+		return seqTrue
+	}
+	return seqFalse
+}
+
+// reverseSeq reverses a sequence in place (the O(k) order restoration
+// for reverse-axis step segments).
+func reverseSeq(s Seq) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
 // Error is an evaluation or compilation error with an error-code-like tag.
 type Error struct {
 	Code string // e.g. "XPTY0019"-style tag or descriptive code

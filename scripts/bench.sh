@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# bench.sh — run the evaluator benchmark suite and record the results.
+#
+# Runs the evaluator-level benchmarks (the paper queries E3–E7 and the
+# P9 path-pipeline fixtures) with -count repetitions, prints the raw
+# `go test -bench` output, and writes the best (minimum ns/op) run per
+# benchmark to a JSON file so the perf trajectory is diffable in git.
+#
+# Usage:
+#   scripts/bench.sh [-count N] [-bench REGEX] [-out FILE]
+#
+# Defaults: -count 5, the evaluator benchmark set, -out BENCH_eval.json.
+set -eu
+
+COUNT=5
+BENCH='BenchmarkQuery|BenchmarkPathPipeline|BenchmarkExample1AnalyzeString'
+OUT=BENCH_eval.json
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-count) COUNT=$2; shift 2 ;;
+	-bench) BENCH=$2; shift 2 ;;
+	-out) OUT=$2; shift 2 ;;
+	*) echo "usage: $0 [-count N] [-bench REGEX] [-out FILE]" >&2; exit 2 ;;
+	esac
+done
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$TMP"
+
+GOVER=$(go version | awk '{print $3}')
+awk -v count="$COUNT" -v gover="$GOVER" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i-1)
+		if ($i == "B/op") bytes = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns == "") next
+	if (!(name in minns) || ns + 0 < minns[name] + 0) {
+		minns[name] = ns; mb[name] = bytes; ma[name] = allocs
+	}
+	if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+}
+END {
+	printf "{\n"
+	printf "  \"_meta\": {\"go\": \"%s\", \"count\": %d, \"stat\": \"min\"},\n", gover, count
+	for (i = 1; i <= n; i++) {
+		nm = order[i]
+		printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			nm, minns[nm], (mb[nm] == "" ? 0 : mb[nm]), (ma[nm] == "" ? 0 : ma[nm]), (i < n ? "," : "")
+	}
+	printf "}\n"
+}' "$TMP" >"$OUT"
+
+echo "wrote $OUT"
