@@ -20,9 +20,10 @@
 //	P7  BenchmarkCollectionFanOut/*      — sequential vs parallel corpus fan-out
 //	P8  BenchmarkCompileCache/*          — cold compile vs LRU cache hit
 //	P9  BenchmarkPathPipeline/*          — order-aware path pipeline at 1/10/100× scale
+//	P10 BenchmarkIndexedDescendant/*     — structural name index, //name steps at 1/10/100×
 //
-// scripts/bench.sh runs the evaluator-level subset (E3–E7, P9) with
-// -count and emits BENCH_eval.json, the recorded perf trajectory.
+// scripts/bench.sh runs the evaluator-level subset (E3–E7, P9, P10)
+// with -count and emits BENCH_eval.json, the recorded perf trajectory.
 package mhxquery_test
 
 import (
@@ -346,6 +347,54 @@ func BenchmarkPathPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, q := range pathPipelineQueries {
+			cq := xquery.MustCompile(q.src)
+			res, err := cq.Eval(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := xquery.Serialize(res)
+			b.Run(scale.name+"/"+q.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := cq.Eval(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := xquery.Serialize(res); got != want {
+						b.Fatalf("got %q, want %q", got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---- P10: structural name index, //name-selective steps ----------------------
+
+// indexedDescendantQueries are name-selective descendant workloads: the
+// shapes the structural name index turns from full-GODDAG walks into
+// O(matches) run scans.
+var indexedDescendantQueries = []struct{ name, src string }{
+	{"w", `count(/descendant::w)`},
+	{"line", `count(/descendant::line)`},
+	{"abbrev", `count(//w)`},
+	{"subtree", `count(/descendant::vline/descendant::w)`},
+}
+
+// BenchmarkIndexedDescendant measures //name-leading path evaluation
+// over the four-hierarchy generated manuscript at 1×, 10× and 100× the
+// scale of the paper's Boethius fixture (6 words).
+func BenchmarkIndexedDescendant(b *testing.B) {
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 6}, {"10x", 60}, {"100x", 600}} {
+		c := corpus.Generate(corpus.Params{Seed: 10, Words: scale.words, DamageRate: 0.12})
+		d, err := c.Document()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range indexedDescendantQueries {
 			cq := xquery.MustCompile(q.src)
 			res, err := cq.Eval(d)
 			if err != nil {

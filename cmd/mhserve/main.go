@@ -28,6 +28,11 @@
 //	GET    /docs/{name}  one document's stats
 //	DELETE /docs/{name}  remove a document
 //	POST   /query        {"query":.., "doc":"name" | "collection":"glob", "format":"xml"|"text"}
+//
+// POST /query?explain=1 additionally returns the physical operator tree
+// of the evaluation — which steps ran as structural-index scans versus
+// axis scans, with per-operator cardinalities — under "plan". EXPLAIN
+// requires a single target document ("doc").
 package main
 
 import (
@@ -178,6 +183,9 @@ type queryResult struct {
 
 type queryResponse struct {
 	Results []queryResult `json:"results"`
+	// Plan is the physical operator tree, present only on
+	// /query?explain=1 requests.
+	Plan *mhxquery.PlanOp `json:"plan,omitempty"`
 }
 
 type errorResponse struct {
@@ -316,12 +324,35 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	explain := false
+	switch r.URL.Query().Get("explain") {
+	case "", "0", "false":
+	case "1", "true":
+		explain = true
+	default:
+		writeError(w, http.StatusBadRequest, "explain must be 0/1")
+		return
+	}
+	if explain && req.Doc == "" {
+		writeError(w, http.StatusBadRequest, `explain requires a single target document ("doc")`)
+		return
+	}
+
 	if req.Doc != "" {
 		if req.Collection != "" {
 			writeError(w, http.StatusBadRequest, `"doc" and "collection" are mutually exclusive`)
 			return
 		}
-		res, err := s.coll.Query(req.Doc, req.Query)
+		var (
+			res  mhxquery.Sequence
+			plan *mhxquery.PlanOp
+			err  error
+		)
+		if explain {
+			res, plan, err = s.coll.Explain(req.Doc, req.Query)
+		} else {
+			res, err = s.coll.Query(req.Doc, req.Query)
+		}
 		if err != nil {
 			status := http.StatusBadRequest
 			if errors.Is(err, mhxquery.ErrDocNotFound) {
@@ -331,7 +362,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		out := render(res)
-		writeJSON(w, http.StatusOK, queryResponse{Results: []queryResult{{Doc: req.Doc, Result: &out}}})
+		writeJSON(w, http.StatusOK, queryResponse{
+			Results: []queryResult{{Doc: req.Doc, Result: &out}},
+			Plan:    plan,
+		})
 		return
 	}
 

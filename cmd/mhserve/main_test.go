@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"mhxquery"
 )
 
 // resultOf unwraps a row's result pointer ("<absent>" when nil, which
@@ -299,5 +301,63 @@ func TestPprofRegistered(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		t.Fatal("query API mux exposes /debug/pprof — profiling must stay on the -pprof listener")
+	}
+}
+
+func TestServerExplain(t *testing.T) {
+	ts := newTestServer(t)
+	putTestDoc(t, ts.URL, "hello",
+		`<r><page>Hello wo</page><page>rld</page></r>`,
+		`<r><w>Hello</w> <w>world</w></r>`)
+
+	var resp queryResponse
+	code := do(t, http.MethodPost, ts.URL+"/query?explain=1",
+		queryRequest{Query: `/descendant::w`, Doc: "hello"}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("explain query: status %d", code)
+	}
+	if len(resp.Results) != 1 || resultOf(resp.Results[0]) != `<w>Hello</w><w>world</w>` {
+		t.Fatalf("explain results = %+v", resp.Results)
+	}
+	if resp.Plan == nil || resp.Plan.Op != "query" {
+		t.Fatalf("explain plan = %+v", resp.Plan)
+	}
+	// The //w-style leading step must surface as an index scan with its
+	// observed cardinality.
+	found := false
+	var walk func(op *mhxquery.PlanOp)
+	walk = func(op *mhxquery.PlanOp) {
+		if op.Op == "index-scan" && op.Index && op.OutRows == 2 {
+			found = true
+		}
+		for _, k := range op.Children {
+			walk(k)
+		}
+	}
+	walk(resp.Plan)
+	if !found {
+		b, _ := json.Marshal(resp.Plan)
+		t.Fatalf("no index-scan operator with out_rows=2 in plan: %s", b)
+	}
+
+	// Without explain the plan is absent.
+	resp = queryResponse{}
+	if code := do(t, http.MethodPost, ts.URL+"/query",
+		queryRequest{Query: `/descendant::w`, Doc: "hello"}, &resp); code != http.StatusOK {
+		t.Fatalf("plain query: status %d", code)
+	}
+	if resp.Plan != nil {
+		t.Fatal("plan present without explain=1")
+	}
+
+	// EXPLAIN needs a single target document.
+	var errResp errorResponse
+	if code := do(t, http.MethodPost, ts.URL+"/query?explain=1",
+		queryRequest{Query: `1`}, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("explain without doc: status %d", code)
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/query?explain=2",
+		queryRequest{Query: `1`, Doc: "hello"}, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("explain=2: status %d", code)
 	}
 }

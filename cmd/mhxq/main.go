@@ -5,13 +5,18 @@
 //
 //	mhxq -h name1=file1.xml -h name2=file2.xml [-f query.xq | -q 'query'] [-format xml|text]
 //	mhxq -boethius -q 'count(/descendant::w)'
+//	mhxq -boethius -explain -q '/descendant::line'
 //
 // Each -h flag registers one markup hierarchy (name=path). All encodings
 // must share the root element name and base text. With -boethius the
-// built-in Figure 1 fixture of the paper is loaded instead.
+// built-in Figure 1 fixture of the paper is loaded instead. With
+// -explain the query is evaluated with per-operator instrumentation and
+// a JSON object {"result":…, "plan":…} is printed, where plan is the
+// physical operator tree (index-vs-scan decisions and cardinalities).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,15 +45,16 @@ func main() {
 	queryFile := flag.String("f", "", "file containing the query")
 	format := flag.String("format", "xml", "output format: xml or text")
 	boethius := flag.Bool("boethius", false, "use the built-in Figure 1 fixture")
+	explain := flag.Bool("explain", false, "print the physical plan with per-operator cardinalities as JSON")
 	flag.Parse()
 
-	if err := run(hiers, *query, *queryFile, *format, *boethius); err != nil {
+	if err := run(hiers, *query, *queryFile, *format, *boethius, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "mhxq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hiers []string, query, queryFile, format string, boethius bool) error {
+func run(hiers []string, query, queryFile, format string, boethius, explain bool) error {
 	src := query
 	if queryFile != "" {
 		b, err := os.ReadFile(queryFile)
@@ -84,6 +90,19 @@ func run(hiers []string, query, queryFile, format string, boethius bool) error {
 	doc, err := mhxquery.Parse(hs...)
 	if err != nil {
 		return err
+	}
+	if explain {
+		res, plan, err := doc.Explain(src)
+		if err != nil {
+			return err
+		}
+		rendered := res.String()
+		if format == "text" {
+			rendered = res.Text()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"result": rendered, "plan": plan})
 	}
 	res, err := doc.Query(src)
 	if err != nil {

@@ -7,10 +7,10 @@ import (
 )
 
 func TestRunBoethius(t *testing.T) {
-	if err := run(nil, `count(/descendant::w)`, "", "xml", true); err != nil {
+	if err := run(nil, `count(/descendant::w)`, "", "xml", true, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(nil, `string(/descendant::w[1])`, "", "text", true); err != nil {
+	if err := run(nil, `string(/descendant::w[1])`, "", "text", true, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -25,14 +25,14 @@ func TestRunFiles(t *testing.T) {
 	if err := os.WriteFile(b, []byte(`<r>a<x>bc</x>d</r>`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"pages=" + a, "spans=" + b}, `count(/descendant::x[overlapping::p])`, "", "xml", false); err != nil {
+	if err := run([]string{"pages=" + a, "spans=" + b}, `count(/descendant::x[overlapping::p])`, "", "xml", false, false); err != nil {
 		t.Fatal(err)
 	}
 	qf := filepath.Join(dir, "q.xq")
 	if err := os.WriteFile(qf, []byte(`string(/descendant::p[1])`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"pages=" + a, "spans=" + b}, "", qf, "xml", false); err != nil {
+	if err := run([]string{"pages=" + a, "spans=" + b}, "", qf, "xml", false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -42,11 +42,11 @@ func TestRunErrors(t *testing.T) {
 		name string
 		fn   func() error
 	}{
-		{"no query", func() error { return run(nil, "", "", "xml", true) }},
-		{"no hierarchies", func() error { return run(nil, "1", "", "xml", false) }},
-		{"missing file", func() error { return run([]string{"a=/nope/missing.xml"}, "1", "", "xml", false) }},
-		{"bad query", func() error { return run(nil, "for $x in", "", "xml", true) }},
-		{"missing query file", func() error { return run(nil, "", "/nope/q.xq", "xml", true) }},
+		{"no query", func() error { return run(nil, "", "", "xml", true, false) }},
+		{"no hierarchies", func() error { return run(nil, "1", "", "xml", false, false) }},
+		{"missing file", func() error { return run([]string{"a=/nope/missing.xml"}, "1", "", "xml", false, false) }},
+		{"bad query", func() error { return run(nil, "for $x in", "", "xml", true, false) }},
+		{"missing query file", func() error { return run(nil, "", "/nope/q.xq", "xml", true, false) }},
 	}
 	for _, tc := range cases {
 		if err := tc.fn(); err == nil {
@@ -65,5 +65,17 @@ func TestHierFlags(t *testing.T) {
 	}
 	if h.String() == "" {
 		t.Error("String empty")
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	if err := run(nil, `/descendant::line`, "", "xml", true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, `string(/descendant::w[1])`, "", "text", true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, `for $x in`, "", "xml", true, true); err == nil {
+		t.Fatal("bad query with -explain: want error")
 	}
 }

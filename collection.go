@@ -93,6 +93,18 @@ func (c *Collection) Query(name, src string) (Sequence, error) {
 	return Sequence{s: seq, d: d}, nil
 }
 
+// Explain is Query with per-operator instrumentation: it returns the
+// result together with the physical operator tree of the evaluation
+// (index-vs-scan decisions and observed cardinalities). The underlying
+// plan is cached keyed by query source + document hierarchy signature.
+func (c *Collection) Explain(name, src string) (Sequence, *PlanOp, error) {
+	seq, tree, d, err := c.c.ExplainDoc(name, src)
+	if err != nil {
+		return Sequence{}, nil, err
+	}
+	return Sequence{s: seq, d: d}, planOpFrom(tree), nil
+}
+
 // CollectionResult is the outcome of one document's evaluation in a
 // QueryAll fan-out.
 type CollectionResult struct {
@@ -144,6 +156,13 @@ type CollectionCacheStats struct {
 // CacheStats returns a snapshot of the compiled-query cache counters.
 func (c *Collection) CacheStats() CollectionCacheStats {
 	s := c.c.CacheStats()
+	return CollectionCacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, Capacity: s.Capacity}
+}
+
+// PlanCacheStats returns a snapshot of the physical-plan cache, whose
+// entries are keyed by query source + document hierarchy signature.
+func (c *Collection) PlanCacheStats() CollectionCacheStats {
+	s := c.c.PlanCacheStats()
 	return CollectionCacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, Capacity: s.Capacity}
 }
 

@@ -69,6 +69,12 @@ type Collection struct {
 	dir     string // "" = memory-only
 	workers int
 	cache   *lruCache
+	// plans caches physical plans keyed by query source + document
+	// hierarchy signature (core.Document.Signature): two documents with
+	// the same hierarchy layout share one plan, while an analyze-string
+	// overlay layout — one more (temporary) hierarchy — keys
+	// differently, so a base-document plan is never blindly reused.
+	plans *lruCache
 
 	mu     sync.RWMutex
 	docs   map[string]*core.Document
@@ -78,13 +84,17 @@ type Collection struct {
 // New returns an empty memory-only collection.
 func New(opts Options) *Collection {
 	opts = opts.withDefaults()
-	var cache *lruCache
+	var cache, plans *lruCache
 	if opts.CacheSize > 0 {
 		cache = newLRU(opts.CacheSize)
+		// Plans are per (query, layout); give them headroom over the
+		// query cache so one extra corpus layout does not thrash it.
+		plans = newLRU(4 * opts.CacheSize)
 	}
 	return &Collection{
 		workers: opts.Workers,
 		cache:   cache,
+		plans:   plans,
 		docs:    map[string]*core.Document{},
 	}
 }
@@ -352,7 +362,7 @@ func (c *Collection) Compile(src string) (*xquery.Query, error) {
 		return xquery.Compile(src)
 	}
 	if q, ok := c.cache.get(src); ok {
-		return q, nil
+		return q.(*xquery.Query), nil
 	}
 	q, err := xquery.Compile(src)
 	if err != nil {
@@ -360,6 +370,25 @@ func (c *Collection) Compile(src string) (*xquery.Query, error) {
 	}
 	c.cache.add(src, q)
 	return q, nil
+}
+
+// planFor returns the physical plan of q for d's hierarchy layout,
+// reusing the plan cache. A cached plan belonging to an evicted,
+// since-recompiled Query is detected by identity and replanned, so a
+// stale plan never evaluates a different AST than the caller compiled.
+func (c *Collection) planFor(src string, q *xquery.Query, d *core.Document) *xquery.Plan {
+	if c.plans == nil {
+		return q.PlanFor(d)
+	}
+	key := src + "\x00" + d.Signature()
+	if v, ok := c.plans.get(key); ok {
+		if pl := v.(*xquery.Plan); pl.Query() == q {
+			return pl
+		}
+	}
+	pl := q.PlanFor(d)
+	c.plans.add(key, pl)
+	return pl
 }
 
 // CacheStats reports compiled-query cache effectiveness.
@@ -376,6 +405,16 @@ func (c *Collection) CacheStats() CacheStats {
 	}
 	hits, misses, entries := c.cache.stats()
 	return CacheStats{Hits: hits, Misses: misses, Entries: entries, Capacity: c.cache.capacity}
+}
+
+// PlanCacheStats returns a snapshot of the physical-plan cache counters
+// (entries are keyed by query source + document hierarchy signature).
+func (c *Collection) PlanCacheStats() CacheStats {
+	if c.plans == nil {
+		return CacheStats{}
+	}
+	hits, misses, entries := c.plans.stats()
+	return CacheStats{Hits: hits, Misses: misses, Entries: entries, Capacity: c.plans.capacity}
 }
 
 // ---- query entry points ------------------------------------------------------
@@ -402,9 +441,30 @@ func (c *Collection) QueryDoc(name, src string) (xquery.Seq, *core.Document, err
 	if err != nil {
 		return nil, nil, fmt.Errorf("collection: %w", err)
 	}
-	seq, err := q.EvalWithResolver(d, nil, v)
+	seq, err := c.planFor(src, q, d).Eval(d, nil, v)
 	if err != nil {
 		return nil, nil, err
 	}
 	return seq, d, nil
+}
+
+// ExplainDoc is QueryDoc with per-operator instrumentation: it returns
+// the result, the physical operator tree (index-vs-scan decisions and
+// observed cardinalities) and the document evaluated against.
+func (c *Collection) ExplainDoc(name, src string) (xquery.Seq, *xquery.ExplainOp, *core.Document, error) {
+	q, err := c.Compile(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	v := c.view()
+	d, err := v.ResolveDoc(name)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("collection: %w", err)
+	}
+	c.planFor(src, q, d) // warm the plan cache like the non-explain path
+	seq, plan, err := q.Explain(d, nil, v)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return seq, plan, d, nil
 }

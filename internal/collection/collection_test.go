@@ -10,6 +10,7 @@ import (
 
 	"mhxquery/internal/core"
 	"mhxquery/internal/corpus"
+	"mhxquery/internal/xmlparse"
 	"mhxquery/internal/xquery"
 )
 
@@ -314,5 +315,90 @@ func TestCompileCache(t *testing.T) {
 	}
 	if st := c2.CacheStats(); st.Capacity != 0 {
 		t.Fatalf("disabled cache stats = %+v", st)
+	}
+}
+
+// otherLayoutDoc builds a single-hierarchy document whose hierarchy
+// names differ from the generated corpus layout.
+func otherLayoutDoc(t testing.TB) *core.Document {
+	t.Helper()
+	root, err := xmlparse.Parse(`<r><col>q</col></r>`, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.Build([]core.NamedTree{{Name: "cols", Root: root}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPlanCacheKeyedBySignature(t *testing.T) {
+	c := New(Options{CacheSize: 4})
+	// Two documents with the same hierarchy layout (the generated
+	// corpus always registers the same hierarchy names).
+	if _, err := c.Put("a", genDoc(t, 1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("b", genDoc(t, 2, 30)); err != nil {
+		t.Fatal(err)
+	}
+
+	const src = `count(/descendant::w)`
+	for _, name := range []string{"a", "b", "a", "b"} {
+		if _, err := c.Query(name, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.PlanCacheStats()
+	// One layout signature shared by both documents: one miss (the
+	// first evaluation plans), three hits.
+	if st.Misses != 1 || st.Hits != 3 || st.Entries != 1 {
+		t.Fatalf("plan cache stats = %+v, want 1 miss / 3 hits / 1 entry", st)
+	}
+
+	// ExplainDoc reports the index-scan decision and shares the cache.
+	_, plan, _, err := c.ExplainDoc("a", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasIndexScan func(op *xquery.ExplainOp) bool
+	hasIndexScan = func(op *xquery.ExplainOp) bool {
+		if op.Op == "index-scan" && op.Index {
+			return true
+		}
+		for _, k := range op.Children {
+			if hasIndexScan(k) {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasIndexScan(plan) {
+		t.Fatalf("ExplainDoc plan lacks an index-scan operator: %+v", plan)
+	}
+
+	// A different hierarchy layout keys a second plan entry.
+	if _, err := c.Put("c", otherLayoutDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("c", src); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.PlanCacheStats(); st.Entries != 2 {
+		t.Fatalf("plan cache entries = %d, want 2 (one per layout)", st.Entries)
+	}
+
+	// A disabled cache still evaluates (plans come from the per-query
+	// cache instead).
+	c2 := New(Options{CacheSize: -1})
+	if _, err := c2.Put("a", genDoc(t, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Query("a", src); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.PlanCacheStats(); st.Capacity != 0 {
+		t.Fatalf("disabled plan cache stats = %+v", st)
 	}
 }

@@ -3,14 +3,12 @@ package collection
 import (
 	"container/list"
 	"sync"
-
-	"mhxquery/internal/xquery"
 )
 
-// lruCache is a fixed-capacity least-recently-used cache of compiled
-// queries keyed by query source. Compiled queries are immutable, so one
-// entry can be shared by any number of concurrent evaluations; the lock
-// only guards the recency list and map.
+// lruCache is a fixed-capacity least-recently-used cache keyed by
+// string. It holds immutable values (compiled queries, physical plans),
+// so one entry can be shared by any number of concurrent evaluations;
+// the lock only guards the recency list and map.
 type lruCache struct {
 	capacity int
 
@@ -22,7 +20,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key string
-	q   *xquery.Query
+	v   any
 }
 
 func newLRU(capacity int) *lruCache {
@@ -33,7 +31,7 @@ func newLRU(capacity int) *lruCache {
 	}
 }
 
-func (l *lruCache) get(key string) (*xquery.Query, bool) {
+func (l *lruCache) get(key string) (any, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	el, ok := l.items[key]
@@ -43,18 +41,20 @@ func (l *lruCache) get(key string) (*xquery.Query, bool) {
 	}
 	l.hits++
 	l.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).q, true
+	return el.Value.(*lruEntry).v, true
 }
 
-func (l *lruCache) add(key string, q *xquery.Query) {
+func (l *lruCache) add(key string, v any) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if el, ok := l.items[key]; ok {
-		// A concurrent Compile won the race; keep the existing entry.
+		// A concurrent load won the race; refresh the entry (a stale
+		// plan for a recompiled query is replaced, anything else kept).
+		el.Value.(*lruEntry).v = v
 		l.ll.MoveToFront(el)
 		return
 	}
-	l.items[key] = l.ll.PushFront(&lruEntry{key: key, q: q})
+	l.items[key] = l.ll.PushFront(&lruEntry{key: key, v: v})
 	for l.ll.Len() > l.capacity {
 		oldest := l.ll.Back()
 		l.ll.Remove(oldest)

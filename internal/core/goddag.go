@@ -41,6 +41,11 @@ type Hierarchy struct {
 	// byEnd lists the hierarchy's nodes sorted by span End (the
 	// xpreceding index).
 	byEnd []*dom.Node
+
+	// idx is the lazily built structural name index (nameindex.go). It
+	// is shared by every overlay document reusing this hierarchy, so the
+	// lazy build is synchronized.
+	idx nameIndex
 }
 
 // NamedTree pairs a hierarchy name with its parsed document tree.

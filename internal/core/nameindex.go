@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"mhxquery/internal/dom"
+)
+
+// This file implements the structural name index: a per-hierarchy
+// inverted index mapping an interned element-name symbol to the
+// ascending run of preorder ordinals of the elements bearing that name.
+// Because a hierarchy's preorder ordinals are dense and a node's subtree
+// occupies Nodes[Ord..Last], two binary searches restrict a run to any
+// subtree, and because the Definition 3 document order enumerates the
+// hierarchies in registration order, concatenating per-hierarchy runs
+// yields document order without sorting. The query planner uses this to
+// turn //name and descendant::name steps into O(matches) index scans.
+//
+// The index is built lazily, once per hierarchy, under a sync.Once:
+// overlay documents created by analyze-string share their base
+// document's Hierarchy values, and a base document may be queried
+// concurrently while an overlay evaluation touches the same hierarchy,
+// so unsynchronized lazy initialization would race (the -race test
+// TestNameIndexConcurrentWithOverlays exercises exactly that). The node
+// slice a hierarchy indexes is immutable after construction, so the
+// index never needs invalidation: an overlay's new hierarchy simply
+// carries its own (empty, lazily built) index.
+type nameIndex struct {
+	once sync.Once
+	runs map[int32][]int32
+}
+
+// build fills the index from the hierarchy's preorder node list.
+func (ix *nameIndex) build(h *Hierarchy) {
+	runs := make(map[int32][]int32)
+	for _, n := range h.Nodes {
+		if n.Kind == dom.Element && n.NameSym != 0 {
+			runs[n.NameSym] = append(runs[n.NameSym], int32(n.Ord))
+		}
+	}
+	ix.runs = runs
+}
+
+// NameRun returns the ascending preorder ordinals of the hierarchy's
+// elements whose interned name symbol is sym, building the index on
+// first use. The returned slice is shared and must not be mutated. A
+// symbol of 0 ("name occurs nowhere in the document") returns nil.
+func (h *Hierarchy) NameRun(sym int32) []int32 {
+	if sym == 0 {
+		return nil
+	}
+	h.idx.once.Do(func() { h.idx.build(h) })
+	return h.idx.runs[sym]
+}
+
+// SubRun restricts an ascending ordinal run to the half-open interval
+// (after, upTo], i.e. the subtree of a node n when called with
+// (n.Ord, n.Last). Both bounds are found by binary search, so a subtree
+// restriction costs O(log |run|).
+func SubRun(run []int32, after, upTo int) []int32 {
+	lo := sort.Search(len(run), func(i int) bool { return int(run[i]) > after })
+	hi := sort.Search(len(run), func(i int) bool { return int(run[i]) > upTo })
+	return run[lo:hi]
+}
+
+// Signature identifies the document's hierarchy layout: the registered
+// hierarchy names in order, with temporary (analyze-string overlay)
+// hierarchies marked. Two documents with equal signatures resolve
+// hierarchy-qualified node tests to the same indices, so a query plan —
+// which binds hierarchy names to indices at plan time — is keyed by
+// (query source, signature). An overlay document extends its base's
+// signature, so plans bound to the base are never blindly reused for
+// the overlay.
+func (d *Document) Signature() string {
+	var b strings.Builder
+	for i, h := range d.Hiers {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(h.Name)
+		if h.Temp {
+			b.WriteByte('\x01')
+		}
+	}
+	return b.String()
+}

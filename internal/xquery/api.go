@@ -6,9 +6,15 @@ import (
 
 // Query is a compiled extended-XQuery expression. A Query is immutable
 // and safe for concurrent evaluation against any number of documents.
+// Evaluation is plan-driven: the first evaluation against a document
+// hierarchy layout lowers the AST to physical operators (plan.go) and
+// caches the plan by layout signature.
 type Query struct {
-	src  string
-	body expr
+	src    string
+	body   expr
+	nPaths int
+
+	plans planCache
 }
 
 // Resolver supplies the documents named by the doc() and collection()
@@ -29,7 +35,12 @@ func Compile(src string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{src: src, body: body}, nil
+	q := &Query{src: src, body: body}
+	forEachPath(body, func(p *pathExpr) {
+		q.nPaths++
+		p.id = q.nPaths
+	})
+	return q, nil
 }
 
 // MustCompile is Compile panicking on error; for fixtures and tests.
@@ -62,12 +73,52 @@ func (q *Query) EvalWithVars(d *core.Document, vars map[string]Seq) (Seq, error)
 // and a document resolver backing the doc() and collection() functions.
 // With a nil resolver those functions raise FODC0002/FODC0004.
 func (q *Query) EvalWithResolver(d *core.Document, vars map[string]Seq, r Resolver) (Seq, error) {
+	return q.PlanFor(d).eval(d, vars, r, nil)
+}
+
+// PlanFor returns the query lowered to physical operators for d's
+// hierarchy layout, reusing the per-query plan cache. Plans are
+// immutable and safe for concurrent evaluation; a plan built for one
+// layout still evaluates correctly against any document (bindings are
+// revalidated by document pointer at run time).
+func (q *Query) PlanFor(d *core.Document) *Plan {
+	sig := d.Signature()
+	if pl := q.plans.get(sig); pl != nil {
+		return pl
+	}
+	return q.plans.put(sig, newPlan(q, d))
+}
+
+// Eval evaluates the plan's query against d with externally bound
+// variables and an optional resolver.
+func (pl *Plan) Eval(d *core.Document, vars map[string]Seq, r Resolver) (Seq, error) {
+	return pl.eval(d, vars, r, nil)
+}
+
+func (pl *Plan) eval(d *core.Document, vars map[string]Seq, r Resolver, counts []opCard) (Seq, error) {
 	st := &evalState{doc: d, resolver: r}
+	if !debugNaiveSteps {
+		st.plan = pl
+		st.explain = counts
+	}
 	c := &context{st: st, item: d.Root, pos: 1, size: 1}
 	for name, val := range vars {
 		c = c.bind(name, val)
 	}
-	return q.body.eval(c)
+	return pl.q.body.eval(c)
+}
+
+// Explain evaluates the query against d with per-operator cardinality
+// instrumentation and returns the result together with the operator
+// tree (index-vs-scan decisions plus observed cardinalities).
+func (q *Query) Explain(d *core.Document, vars map[string]Seq, r Resolver) (Seq, *ExplainOp, error) {
+	pl := q.PlanFor(d)
+	counts := make([]opCard, pl.nOps)
+	seq, err := pl.eval(d, vars, r, counts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seq, pl.render(counts), nil
 }
 
 // EvalString compiles and evaluates src against d and serializes the

@@ -25,6 +25,12 @@ type evalState struct {
 	// owning document rather than the active one.
 	extra []*core.Document
 
+	// plan is the physical plan driving this evaluation (nil under
+	// debugNaiveSteps); explain, when non-nil, collects per-operator
+	// cardinalities for EXPLAIN output.
+	plan    *Plan
+	explain []opCard
+
 	// axisBuf is the reusable axis-candidate buffer of the step pipeline
 	// (AppendAxis destination), shared across context nodes and steps —
 	// candidates are consumed into the step output before any nested
@@ -723,6 +729,15 @@ func allNodes(items Seq) bool {
 }
 
 func (p *pathExpr) eval(c *context) (Seq, error) {
+	// Plan-driven evaluation: the physical operator list lowered for
+	// this path (index scans, chain scans, pipeline steps). The generic
+	// body below remains as the unplanned fallback and as the
+	// debugNaiveSteps oracle route.
+	if st := c.st; st.plan != nil && !debugNaiveSteps && p.id > 0 && p.id <= len(st.plan.paths) {
+		if pp := st.plan.paths[p.id-1]; pp != nil {
+			return pp.eval(c)
+		}
+	}
 	var cur Seq
 	switch {
 	case p.start != nil:

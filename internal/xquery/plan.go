@@ -1,0 +1,806 @@
+package xquery
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/dom"
+)
+
+// This file is the compile→plan→execute layer. Compile parses a query
+// into an AST once; PlanFor lowers every path expression of that AST
+// into explicit physical operators for one document hierarchy layout
+// (core.Document.Signature), binding node tests to interned name
+// symbols and hierarchy indices at plan time instead of per (step,
+// document) during evaluation. Three physical operators exist beyond
+// the generic pipeline step:
+//
+//   - index-scan: descendant::name and descendant-or-self::name steps
+//     (including the //name abbreviation, whose descendant-or-self::
+//     node()/child::name pair is fused at plan time) read the
+//     structural name index (core nameindex.go) instead of walking the
+//     GODDAG: per hierarchy, the ascending ordinal run of elements
+//     bearing the name, restricted to the context subtree by binary
+//     search, emitted in document order with no per-candidate test.
+//   - chain-scan: a leading /child::a/child::b/… chain over an
+//     absolute path scans the index run of the last name and verifies
+//     each candidate's ancestor chain upward to the shared root —
+//     O(matches · chain length) instead of a level-by-level walk.
+//   - axis-step: everything else runs through the order-aware pipeline
+//     (evalStep), unchanged.
+//
+// Plans are immutable and shared: all mutable evaluation state lives in
+// evalState, and per-document bindings are revalidated by document
+// pointer at run time, so a plan built against one document evaluates
+// correctly against any other (overlay documents created by
+// analyze-string included) — it is merely fastest on the layout it was
+// planned for. Explain runs a plan with per-operator cardinality
+// counters and renders the operator tree.
+
+// ---- plan structure --------------------------------------------------------
+
+// Plan is a query lowered to physical operators for one document
+// hierarchy signature. A Plan is immutable and safe for concurrent
+// evaluation.
+type Plan struct {
+	q     *Query
+	doc   *core.Document
+	sig   string
+	paths []*pathPlan // indexed by pathExpr.id-1
+	nOps  int
+	root  *explainNode
+}
+
+// Query returns the compiled query this plan lowers.
+func (pl *Plan) Query() *Query { return pl.q }
+
+// Signature returns the document hierarchy signature the plan was built
+// for.
+func (pl *Plan) Signature() string { return pl.sig }
+
+// pathPlan is the operator list of one path expression.
+type pathPlan struct {
+	p   *pathExpr
+	ops []*pathOp
+}
+
+// Operator kinds.
+const (
+	opAxisStep  = iota // generic pipeline step (evalStep)
+	opIndexScan        // structural name index scan
+	opChainScan        // leading child:: chain via index + ancestor check
+	opPrimStep         // primary-expression step (evalPrimStep)
+)
+
+// pathOp is one physical operator of a path plan.
+type pathOp struct {
+	kind int
+	s    *step   // axis/index/primary operator: the underlying step
+	chn  []*step // chain-scan: the consumed child:: steps
+	id   int     // cardinality counter slot
+
+	// Plan-time bindings for the planned document; revalidated by
+	// document pointer at run time.
+	bind      indexBinding
+	chainBind chainBinding
+}
+
+// indexBinding is a node test resolved against one document at plan
+// time: the interned name symbol and the hierarchy restriction as
+// sorted, deduplicated indices.
+type indexBinding struct {
+	doc     *core.Document
+	nameSym int32
+	hierIdx []int
+	hierErr error
+}
+
+// resolveIndexBinding binds a name-test step to d. The unknown-
+// hierarchy error is recorded, not raised: the reference evaluator
+// raises it only when a candidate actually reaches the hierarchy check.
+func resolveIndexBinding(d *core.Document, s *step) indexBinding {
+	b := indexBinding{doc: d, nameSym: d.NameSymOf(s.test.name)}
+	for _, name := range s.test.hiers {
+		h := d.HierarchyByName(name)
+		if h == nil {
+			b.hierErr = errf("MHXQ0001", "unknown hierarchy %q in node test", name)
+			return b
+		}
+		b.hierIdx = append(b.hierIdx, h.Index)
+	}
+	if len(b.hierIdx) > 1 {
+		// Scan runs in index order (document order) and only once each.
+		sort.Ints(b.hierIdx)
+		w := 1
+		for _, hi := range b.hierIdx[1:] {
+			if hi != b.hierIdx[w-1] {
+				b.hierIdx[w] = hi
+				w++
+			}
+		}
+		b.hierIdx = b.hierIdx[:w]
+	}
+	return b
+}
+
+func (b *indexBinding) allows(hierIndex int) bool {
+	if len(b.hierIdx) == 0 {
+		return true
+	}
+	for _, hi := range b.hierIdx {
+		if hi == hierIndex {
+			return true
+		}
+	}
+	return false
+}
+
+// chainBinding is a child:: chain resolved against one document: the
+// interned symbol of every chain name. ok is false when any name occurs
+// nowhere in the document (the chain selects nothing).
+type chainBinding struct {
+	doc  *core.Document
+	syms []int32
+	ok   bool
+}
+
+func resolveChainBinding(d *core.Document, chain []*step) chainBinding {
+	b := chainBinding{doc: d, syms: make([]int32, len(chain)), ok: true}
+	for i, s := range chain {
+		if b.syms[i] = d.NameSymOf(s.test.name); b.syms[i] == 0 {
+			b.ok = false
+		}
+	}
+	return b
+}
+
+// ---- planner ---------------------------------------------------------------
+
+type planner struct {
+	pl *Plan
+}
+
+// newPlan lowers q's path expressions against d's hierarchy layout.
+func newPlan(q *Query, d *core.Document) *Plan {
+	pl := &Plan{q: q, doc: d, sig: d.Signature(), paths: make([]*pathPlan, q.nPaths)}
+	pn := &planner{pl: pl}
+	root := &explainNode{op: "query", id: -1}
+	pn.walk(q.body, root)
+	pl.root = root
+	return pl
+}
+
+func (pn *planner) newOpID() int {
+	id := pn.pl.nOps
+	pn.pl.nOps++
+	return id
+}
+
+func (pn *planner) walk(e expr, parent *explainNode) {
+	if e == nil {
+		return
+	}
+	if p, ok := e.(*pathExpr); ok {
+		pn.planPath(p, parent)
+		return
+	}
+	visitChildren(e, func(ch expr) { pn.walk(ch, parent) })
+}
+
+// indexableStep reports whether the step can run as an index scan: a
+// descendant(-or-self) axis step with a plain name test. Predicates are
+// allowed (they filter index candidates exactly as they filter axis
+// candidates).
+func indexableStep(s *step) bool {
+	return s.prim == nil && s.test.kind == testName &&
+		(s.axis == core.AxisDescendant || s.axis == core.AxisDescendantOrSelf)
+}
+
+// chainableStep reports whether the step can join a leading child::
+// chain: child axis, plain unqualified name test, no predicates.
+func chainableStep(s *step) bool {
+	return s.prim == nil && s.axis == core.AxisChild && s.test.kind == testName &&
+		len(s.test.hiers) == 0 && len(s.preds) == 0
+}
+
+// fusibleDOS reports whether the step is the bare descendant-or-self::
+// node() that the // abbreviation expands to, with nothing attached.
+func fusibleDOS(s *step) bool {
+	return s.prim == nil && s.axis == core.AxisDescendantOrSelf &&
+		s.test.kind == testNode && len(s.test.hiers) == 0 && len(s.preds) == 0
+}
+
+func (pn *planner) planPath(p *pathExpr, parent *explainNode) {
+	if p.start != nil {
+		pn.walk(p.start, parent)
+	}
+	node := &explainNode{op: "path", detail: describePath(p), id: -1}
+	parent.kids = append(parent.kids, node)
+	pp := &pathPlan{p: p}
+	steps := p.steps
+	i := 0
+	// A leading chain of child::name steps over an absolute path. A
+	// single child step stays on the (already cheap) axis pipeline.
+	if p.absolute && p.start == nil {
+		k := 0
+		for k < len(steps) && chainableStep(steps[k]) {
+			k++
+		}
+		if k >= 2 {
+			op := &pathOp{kind: opChainScan, chn: steps[:k], id: pn.newOpID()}
+			op.chainBind = resolveChainBinding(pn.pl.doc, op.chn)
+			node.kids = append(node.kids, &explainNode{
+				op: "chain-scan", detail: describeChain(op.chn), index: true, id: op.id,
+			})
+			pp.ops = append(pp.ops, op)
+			i = k
+		}
+	}
+	for ; i < len(steps); i++ {
+		s := steps[i]
+		// Fuse the // abbreviation (descendant-or-self::node()/
+		// child::name with no predicates) into one descendant::name
+		// index scan: the two select the same node set in the same
+		// document order.
+		if fusibleDOS(s) && i+1 < len(steps) {
+			next := steps[i+1]
+			if next.prim == nil && next.axis == core.AxisChild &&
+				next.test.kind == testName && len(next.preds) == 0 {
+				s = &step{axis: core.AxisDescendant, test: next.test}
+				i++
+			}
+		}
+		var op *pathOp
+		var en *explainNode
+		switch {
+		case s.prim != nil:
+			op = &pathOp{kind: opPrimStep, s: s, id: pn.newOpID()}
+			en = &explainNode{op: "primary", detail: "expr()", id: op.id}
+			node.kids = append(node.kids, en)
+			pn.walk(s.prim, en)
+			pp.ops = append(pp.ops, op)
+			continue
+		case indexableStep(s):
+			op = &pathOp{kind: opIndexScan, s: s, id: pn.newOpID()}
+			op.bind = resolveIndexBinding(pn.pl.doc, s)
+			en = &explainNode{op: "index-scan", detail: describeStep(s), index: true, id: op.id}
+		default:
+			op = &pathOp{kind: opAxisStep, s: s, id: pn.newOpID()}
+			en = &explainNode{op: "axis-step", detail: describeStep(s), id: op.id}
+		}
+		node.kids = append(node.kids, en)
+		for _, pr := range s.preds {
+			pn.walk(pr, en)
+		}
+		pp.ops = append(pp.ops, op)
+	}
+	if p.id > 0 && p.id <= len(pn.pl.paths) {
+		pn.pl.paths[p.id-1] = pp
+	}
+}
+
+// visitChildren invokes visit for every direct child expression of e.
+// For path expressions this includes the start expression, every step
+// predicate and every primary step body.
+func visitChildren(e expr, visit func(expr)) {
+	switch x := e.(type) {
+	case *seqExpr:
+		for _, it := range x.items {
+			visit(it)
+		}
+	case *rangeExpr:
+		visit(x.lo)
+		visit(x.hi)
+	case *orExpr:
+		visit(x.a)
+		visit(x.b)
+	case *andExpr:
+		visit(x.a)
+		visit(x.b)
+	case *cmpExpr:
+		visit(x.a)
+		visit(x.b)
+	case *arithExpr:
+		visit(x.a)
+		visit(x.b)
+	case *unaryExpr:
+		visit(x.x)
+	case *unionExpr:
+		visit(x.a)
+		visit(x.b)
+	case *intersectExpr:
+		visit(x.a)
+		visit(x.b)
+	case *ifExpr:
+		visit(x.cond)
+		visit(x.then)
+		visit(x.els)
+	case *quantExpr:
+		for _, s := range x.srcs {
+			visit(s)
+		}
+		visit(x.sat)
+	case *flworExpr:
+		for _, cl := range x.clauses {
+			visit(cl.src)
+		}
+		for _, o := range x.order {
+			visit(o.key)
+		}
+		visit(x.ret)
+	case *callExpr:
+		for _, a := range x.args {
+			visit(a)
+		}
+	case *filterExpr:
+		visit(x.base)
+		for _, pr := range x.preds {
+			visit(pr)
+		}
+	case *pathExpr:
+		if x.start != nil {
+			visit(x.start)
+		}
+		for _, s := range x.steps {
+			for _, pr := range s.preds {
+				visit(pr)
+			}
+			if s.prim != nil {
+				visit(s.prim)
+			}
+		}
+	case *elemExpr:
+		for _, a := range x.attrs {
+			for _, part := range a.parts {
+				visit(part)
+			}
+		}
+		for _, ce := range x.content {
+			visit(ce)
+		}
+	case *compCtorExpr:
+		if x.nameExpr != nil {
+			visit(x.nameExpr)
+		}
+		if x.content != nil {
+			visit(x.content)
+		}
+	}
+}
+
+// forEachPath invokes fn for every path expression in e, outermost
+// first (Compile uses it to assign dense path ids).
+func forEachPath(e expr, fn func(*pathExpr)) {
+	if e == nil {
+		return
+	}
+	if p, ok := e.(*pathExpr); ok {
+		fn(p)
+	}
+	visitChildren(e, func(ch expr) { forEachPath(ch, fn) })
+}
+
+// ---- execution -------------------------------------------------------------
+
+// opCard is one operator's observed cardinalities during an
+// instrumented (Explain) evaluation.
+type opCard struct {
+	calls, in, out int64
+}
+
+func (pp *pathPlan) eval(c *context) (Seq, error) {
+	p := pp.p
+	var cur Seq
+	switch {
+	case p.start != nil:
+		v, err := p.start.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		cur = v
+	case p.absolute:
+		cur = Seq{c.st.rootFor(c.item)}
+	default:
+		if c.item == nil {
+			return nil, errf("XPDY0002", "context item undefined at start of relative path")
+		}
+		cur = Seq{c.item}
+	}
+	for oi, op := range pp.ops {
+		in := int64(len(cur))
+		var err error
+		switch op.kind {
+		case opPrimStep:
+			cur, err = evalPrimStep(c, cur, op.s, oi == len(pp.ops)-1)
+		case opIndexScan:
+			cur, err = evalIndexScan(c, cur, op)
+		case opChainScan:
+			cur, err = evalChainScan(c, cur, op)
+		default:
+			cur, err = evalStep(c, cur, op.s)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ex := c.st.explain; ex != nil {
+			ex[op.id].calls++
+			ex[op.id].in += in
+			ex[op.id].out += int64(len(cur))
+		}
+	}
+	return cur, nil
+}
+
+// evalIndexScan evaluates a descendant(-or-self)::name step through the
+// structural name index: per context node, the ascending ordinal run of
+// matching elements (restricted to the context subtree), then the same
+// positional shortcut, predicate filtering and segment merging as the
+// generic pipeline. Atomic items and constructed (unindexed) context
+// nodes delegate the whole step to the pipeline, which reproduces the
+// reference semantics for them.
+func evalIndexScan(c *context, cur Seq, op *pathOp) (Seq, error) {
+	st := c.st
+	s := op.s
+	for _, it := range cur {
+		n, ok := it.(*dom.Node)
+		if !ok {
+			return evalStep(c, cur, s) // raises XPTY0019 at the reference point
+		}
+		if n.Kind == dom.Attribute {
+			continue // no descendants; indexable as an empty contribution
+		}
+		if _, ok := st.docFor(n).OrdinalOf(n); !ok {
+			return evalStep(c, cur, s) // constructed tree: no index
+		}
+	}
+	inclSelf := s.axis == core.AxisDescendantOrSelf
+	var out Seq
+	sorted := true
+	var bind indexBinding
+	for _, it := range cur {
+		n := it.(*dom.Node)
+		d := st.docFor(n)
+		if bind.doc != d {
+			if op.bind.doc == d {
+				bind = op.bind
+			} else {
+				bind = resolveIndexBinding(d, s)
+			}
+		}
+		if bind.nameSym == 0 {
+			// The name occurs nowhere in this document: no candidate
+			// matches, so not even an unknown-hierarchy error can
+			// surface (the reference checks kind and name first).
+			continue
+		}
+		segStart := len(out)
+		var err error
+		out, err = appendIndexSeg(c, out, d, n, s, &bind, inclSelf)
+		if err != nil {
+			return nil, err
+		}
+		seg := out[segStart:]
+		if sorted && len(seg) > 0 && segStart > 0 &&
+			dom.Compare(out[segStart-1].(*dom.Node), seg[0].(*dom.Node)) >= 0 {
+			sorted = false
+		}
+	}
+	if !sorted {
+		return st.mergeDocOrder(out), nil
+	}
+	return out, nil
+}
+
+// appendIndexSeg appends one context node's result segment: index
+// candidates (every one already passes the node test), the positional
+// shortcut, then the remaining predicates — filterStep with the
+// per-candidate test replaced by run selection.
+func appendIndexSeg(c *context, out Seq, d *core.Document, n *dom.Node, s *step, bind *indexBinding, inclSelf bool) (Seq, error) {
+	if bind.hierErr != nil {
+		// Unknown hierarchy in the test: the reference raises the error
+		// only when a candidate reaches the hierarchy check, i.e. when
+		// a kind+name match exists among this context's candidates.
+		if indexCandidateExists(d, n, bind.nameSym, inclSelf) {
+			return nil, bind.hierErr
+		}
+		return out, nil
+	}
+	segStart := len(out)
+	out = appendIndexCandidates(out, d, n, bind, inclSelf)
+	preds := s.preds
+	if s.posSel != 0 {
+		seg := out[segStart:]
+		var sel Item
+		if s.posSel > 0 {
+			if len(seg) >= s.posSel {
+				sel = seg[s.posSel-1]
+			}
+		} else if len(seg) > 0 { // [last()]
+			sel = seg[len(seg)-1]
+		}
+		out = out[:segStart]
+		if sel == nil {
+			return out, nil
+		}
+		out = append(out, sel)
+		preds = preds[1:]
+	}
+	if len(preds) > 0 {
+		kept, err := applyPredicatesInPlace(c, out[segStart:], preds)
+		if err != nil {
+			return nil, err
+		}
+		out = out[:segStart+len(kept)]
+	}
+	return out, nil
+}
+
+// appendIndexCandidates appends the index-selected candidates for one
+// context node in ascending document order. Only the shared root and
+// hierarchy elements can have element descendants; text, leaf and
+// attribute contexts contribute nothing to a name test.
+func appendIndexCandidates(out Seq, d *core.Document, n *dom.Node, bind *indexBinding, inclSelf bool) Seq {
+	switch {
+	case n == d.Root:
+		if inclSelf && n.NameSym == bind.nameSym {
+			out = append(out, n) // the root belongs to every hierarchy
+		}
+		if len(bind.hierIdx) > 0 {
+			for _, hi := range bind.hierIdx {
+				out = appendRun(out, d.Hiers[hi], d.Hiers[hi].NameRun(bind.nameSym))
+			}
+		} else {
+			for _, h := range d.Hiers {
+				out = appendRun(out, h, h.NameRun(bind.nameSym))
+			}
+		}
+	case n.Kind == dom.Element && n.HierIndex >= 0 && n.HierIndex < len(d.Hiers):
+		if !bind.allows(n.HierIndex) {
+			return out // descendants stay in the context's hierarchy
+		}
+		h := d.Hiers[n.HierIndex]
+		if inclSelf && n.NameSym == bind.nameSym {
+			out = append(out, n)
+		}
+		out = appendRun(out, h, core.SubRun(h.NameRun(bind.nameSym), n.Ord, n.Last))
+	}
+	return out
+}
+
+func appendRun(out Seq, h *core.Hierarchy, run []int32) Seq {
+	for _, ord := range run {
+		out = append(out, h.Nodes[ord])
+	}
+	return out
+}
+
+// indexCandidateExists probes whether any kind+name match exists among
+// the context's descendant(-or-self) candidates, across all hierarchies
+// (the hierarchy restriction is what failed to resolve).
+func indexCandidateExists(d *core.Document, n *dom.Node, sym int32, inclSelf bool) bool {
+	switch {
+	case n == d.Root:
+		if inclSelf && n.NameSym == sym {
+			return true
+		}
+		for _, h := range d.Hiers {
+			if len(h.NameRun(sym)) > 0 {
+				return true
+			}
+		}
+	case n.Kind == dom.Element && n.HierIndex >= 0 && n.HierIndex < len(d.Hiers):
+		if inclSelf && n.NameSym == sym {
+			return true
+		}
+		if len(core.SubRun(d.Hiers[n.HierIndex].NameRun(sym), n.Ord, n.Last)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// evalChainScan evaluates a leading /child::a/child::b/… chain: scan
+// the index run of the chain's last name in every hierarchy (ascending
+// ordinals per hierarchy in hierarchy order — document order) and keep
+// the candidates whose ancestor chain matches the remaining names up to
+// the shared root.
+func evalChainScan(c *context, cur Seq, op *pathOp) (Seq, error) {
+	st := c.st
+	var out Seq
+	for _, it := range cur {
+		n, ok := it.(*dom.Node)
+		if !ok {
+			return nil, errf("XPTY0019", "%s:: step applied to an atomic value", core.AxisChild)
+		}
+		d := st.docFor(n)
+		if n != d.Root {
+			// Only the shared root reaches a leading chain of an
+			// absolute path; be safe and evaluate stepwise otherwise.
+			return evalChainSteps(c, cur, op.chn)
+		}
+		bind := op.chainBind
+		if bind.doc != d {
+			bind = resolveChainBinding(d, op.chn)
+		}
+		if !bind.ok {
+			continue // some chain name occurs nowhere in the document
+		}
+		last := bind.syms[len(bind.syms)-1]
+		for _, h := range d.Hiers {
+			for _, ord := range h.NameRun(last) {
+				m := h.Nodes[ord]
+				q := m.Parent
+				match := true
+				for i := len(bind.syms) - 2; i >= 0; i-- {
+					if q == nil || q == d.Root || q.Kind != dom.Element || q.NameSym != bind.syms[i] {
+						match = false
+						break
+					}
+					q = q.Parent
+				}
+				if match && q == d.Root {
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	if len(cur) > 1 {
+		return sortDedupe(out), nil // multiple (identical) roots: restore the set property
+	}
+	return out, nil
+}
+
+func evalChainSteps(c *context, cur Seq, chain []*step) (Seq, error) {
+	var err error
+	for _, s := range chain {
+		if cur, err = evalStep(c, cur, s); err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// ---- EXPLAIN ---------------------------------------------------------------
+
+// ExplainOp is one node of the operator tree Explain returns: the
+// physical operator, its rendered step, whether it is index-backed, and
+// the cardinalities observed during the instrumented evaluation (Calls
+// invocations consuming InRows context items and emitting OutRows
+// result items in total).
+type ExplainOp struct {
+	Op       string       `json:"op"`
+	Detail   string       `json:"detail,omitempty"`
+	Index    bool         `json:"index"`
+	Calls    int64        `json:"calls,omitempty"`
+	InRows   int64        `json:"in_rows,omitempty"`
+	OutRows  int64        `json:"out_rows,omitempty"`
+	Children []*ExplainOp `json:"children,omitempty"`
+}
+
+// explainNode is the plan-time skeleton of the operator tree; id indexes
+// the cardinality counter slot (-1 for structural nodes).
+type explainNode struct {
+	op, detail string
+	index      bool
+	id         int
+	kids       []*explainNode
+}
+
+// Describe renders the operator tree without cardinalities (no
+// evaluation happens).
+func (pl *Plan) Describe() *ExplainOp { return pl.render(nil) }
+
+func (pl *Plan) render(counts []opCard) *ExplainOp { return renderExplain(pl.root, counts) }
+
+func renderExplain(n *explainNode, counts []opCard) *ExplainOp {
+	out := &ExplainOp{Op: n.op, Detail: n.detail, Index: n.index}
+	if n.id >= 0 && n.id < len(counts) {
+		cd := counts[n.id]
+		out.Calls, out.InRows, out.OutRows = cd.calls, cd.in, cd.out
+	}
+	for _, k := range n.kids {
+		out.Children = append(out.Children, renderExplain(k, counts))
+	}
+	return out
+}
+
+func describeTest(t *nodeTest) string {
+	qual := ""
+	if len(t.hiers) > 0 {
+		qual = "('" + strings.Join(t.hiers, ",") + "')"
+	}
+	switch t.kind {
+	case testName:
+		return t.name + qual
+	case testStar:
+		return "*" + qual
+	case testText:
+		return "text()" + qual
+	case testNode:
+		return "node()" + qual
+	case testComment:
+		return "comment()"
+	case testPI:
+		if t.name != "" {
+			return "processing-instruction(" + t.name + ")"
+		}
+		return "processing-instruction()"
+	case testLeaf:
+		return "leaf()" + qual
+	}
+	return "?"
+}
+
+func describeStep(s *step) string {
+	if s.prim != nil {
+		return "expr()"
+	}
+	d := s.axis.String() + "::" + describeTest(&s.test)
+	if n := len(s.preds); n > 0 {
+		d += strings.Repeat("[…]", n)
+	}
+	return d
+}
+
+func describeChain(chain []*step) string {
+	var b strings.Builder
+	for _, s := range chain {
+		b.WriteByte('/')
+		b.WriteString("child::")
+		b.WriteString(s.test.name)
+	}
+	return b.String()
+}
+
+func describePath(p *pathExpr) string {
+	var b strings.Builder
+	if p.start != nil {
+		b.WriteString("(…)")
+	}
+	for i, s := range p.steps {
+		if i > 0 || p.absolute || p.start != nil {
+			b.WriteByte('/')
+		}
+		b.WriteString(describeStep(s))
+	}
+	return b.String()
+}
+
+// ---- plan cache ------------------------------------------------------------
+
+// maxCachedPlans bounds the per-query plan cache; the distinct
+// hierarchy signatures one query meets are few (the corpus layouts plus
+// analyze-string overlay layouts).
+const maxCachedPlans = 16
+
+// planCache is the per-query plan table keyed by document hierarchy
+// signature.
+type planCache struct {
+	mu    sync.RWMutex
+	plans map[string]*Plan
+}
+
+func (pc *planCache) get(sig string) *Plan {
+	pc.mu.RLock()
+	pl := pc.plans[sig]
+	pc.mu.RUnlock()
+	return pl
+}
+
+func (pc *planCache) put(sig string, pl *Plan) *Plan {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if prev, ok := pc.plans[sig]; ok {
+		return prev // a concurrent planner won the race; share its plan
+	}
+	if pc.plans == nil {
+		pc.plans = make(map[string]*Plan, 4)
+	}
+	if len(pc.plans) >= maxCachedPlans {
+		clear(pc.plans)
+	}
+	pc.plans[sig] = pl
+	return pl
+}

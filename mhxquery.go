@@ -187,6 +187,49 @@ func (d *Document) QueryString(src string) (string, error) {
 	return res.String(), nil
 }
 
+// Explain compiles and evaluates src with per-operator instrumentation,
+// returning the result together with the physical operator tree: which
+// steps ran as structural-index scans versus axis-step scans, and the
+// cardinalities each operator observed.
+func (d *Document) Explain(src string) (Sequence, *PlanOp, error) {
+	q, err := Compile(src)
+	if err != nil {
+		return Sequence{}, nil, err
+	}
+	return q.Explain(d)
+}
+
+// PlanOp is one node of the physical operator tree Explain returns.
+// Op is the operator ("query", "path", "index-scan", "chain-scan",
+// "axis-step", "primary"), Detail the rendered step, Index whether the
+// operator reads the structural name index. Calls, InRows and OutRows
+// are the cardinalities observed during the instrumented evaluation:
+// how often the operator ran, and how many context items it consumed
+// and result items it emitted in total.
+type PlanOp struct {
+	Op       string    `json:"op"`
+	Detail   string    `json:"detail,omitempty"`
+	Index    bool      `json:"index"`
+	Calls    int64     `json:"calls,omitempty"`
+	InRows   int64     `json:"in_rows,omitempty"`
+	OutRows  int64     `json:"out_rows,omitempty"`
+	Children []*PlanOp `json:"children,omitempty"`
+}
+
+func planOpFrom(e *xquery.ExplainOp) *PlanOp {
+	if e == nil {
+		return nil
+	}
+	out := &PlanOp{
+		Op: e.Op, Detail: e.Detail, Index: e.Index,
+		Calls: e.Calls, InRows: e.InRows, OutRows: e.OutRows,
+	}
+	for _, k := range e.Children {
+		out.Children = append(out.Children, planOpFrom(k))
+	}
+	return out
+}
+
 // Query is a compiled extended-XQuery expression, reusable across
 // documents and safe for concurrent evaluation.
 type Query struct {
@@ -213,6 +256,17 @@ func MustCompile(src string) *Query {
 
 // Source returns the query text.
 func (q *Query) Source() string { return q.q.Source() }
+
+// Explain evaluates the query with per-operator instrumentation,
+// returning the result and the physical operator tree (see
+// Document.Explain).
+func (q *Query) Explain(d *Document) (Sequence, *PlanOp, error) {
+	s, tree, err := q.q.Explain(d.g, nil, nil)
+	if err != nil {
+		return Sequence{}, nil, err
+	}
+	return Sequence{s: s, d: d.g}, planOpFrom(tree), nil
+}
 
 // Eval evaluates the query. Temporary hierarchies created by
 // analyze-string are private to the evaluation; the document is never

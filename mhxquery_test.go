@@ -255,3 +255,50 @@ func TestSelect(t *testing.T) {
 		t.Error("bad path accepted")
 	}
 }
+
+func TestExplainPublicAPI(t *testing.T) {
+	d, err := mhxquery.Parse(
+		mhxquery.Hierarchy{Name: "pages", XML: `<r><page>Hello wo</page><page>rld</page></r>`},
+		mhxquery.Hierarchy{Name: "words", XML: `<r><w>Hello</w> <w>world</w></r>`},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, plan, err := d.Explain(`/descendant::w`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || plan == nil || plan.Op != "query" {
+		t.Fatalf("Explain: len=%d plan=%+v", res.Len(), plan)
+	}
+	var scan *mhxquery.PlanOp
+	var walk func(op *mhxquery.PlanOp)
+	walk = func(op *mhxquery.PlanOp) {
+		if op.Op == "index-scan" {
+			scan = op
+		}
+		for _, k := range op.Children {
+			walk(k)
+		}
+	}
+	walk(plan)
+	if scan == nil || !scan.Index || scan.OutRows != 2 || scan.Calls != 1 {
+		t.Fatalf("index-scan op = %+v", scan)
+	}
+
+	// The collection-level Explain reaches the same machinery.
+	c := mhxquery.NewCollection(mhxquery.CollectionOptions{})
+	if _, err := c.Put("hello", d); err != nil {
+		t.Fatal(err)
+	}
+	res, plan, err = c.Explain("hello", `count(/descendant::page)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != "2" || plan == nil {
+		t.Fatalf("collection Explain: res=%q plan=%v", res.String(), plan)
+	}
+	if st := c.PlanCacheStats(); st.Misses == 0 {
+		t.Fatalf("plan cache untouched: %+v", st)
+	}
+}
