@@ -417,6 +417,103 @@ func BenchmarkIndexedDescendant(b *testing.B) {
 	}
 }
 
+// ---- P11: early exit and FLWOR joins through the cursor engine ---------------
+
+// earlyExitQueries are the O(answer) workloads: the consumer needs one
+// item (or one existence bit) out of a result the strict engine would
+// materialize in full.
+var earlyExitQueries = []struct{ name, src string }{
+	{"firstw", `(//w)[1]`},
+	{"existsw", `exists(//w)`},
+	{"existsdmg", `exists(//dmg)`},
+	{"firstpred", `(//w[ancestor::vline])[1]`},
+	{"somequant", `some $w in //w satisfies $w/ancestor::vline`},
+}
+
+// BenchmarkEarlyExit measures early-exit query shapes at 1×, 10× and
+// 100× the Boethius scale. Under cursor execution these stay O(answer):
+// the 100× cost should track the 1× cost, not the document size.
+func BenchmarkEarlyExit(b *testing.B) {
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 6}, {"10x", 60}, {"100x", 600}} {
+		c := corpus.Generate(corpus.Params{Seed: 11, Words: scale.words, DamageRate: 0.12})
+		d, err := c.Document()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range earlyExitQueries {
+			cq := xquery.MustCompile(q.src)
+			res, err := cq.Eval(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := xquery.Serialize(res)
+			b.Run(scale.name+"/"+q.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := cq.Eval(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := xquery.Serialize(res); got != want {
+						b.Fatalf("got %q, want %q", got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// flworJoinQueries exercise FLWOR binding pipelines: nested for clauses
+// whose bindings stream from index scans, a where filter, and an
+// order-by that forces tuple materialization.
+var flworJoinQueries = []struct{ name, src string }{
+	{"nested", `for $v in /descendant::vline
+	            for $w in $v/child::w
+	            where exists($w/overlapping::line)
+	            return string($w)`},
+	{"ordered", `for $w in //w
+	             order by string-length(string($w)) descending
+	             return string($w)`},
+}
+
+// BenchmarkFLWORJoin measures FLWOR evaluation through the lowered
+// plan at 1×, 10× and 100× scale.
+func BenchmarkFLWORJoin(b *testing.B) {
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 6}, {"10x", 60}, {"100x", 600}} {
+		c := corpus.Generate(corpus.Params{Seed: 12, Words: scale.words, DamageRate: 0.12})
+		d, err := c.Document()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range flworJoinQueries {
+			cq := xquery.MustCompile(q.src)
+			res, err := cq.Eval(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := xquery.Serialize(res)
+			b.Run(scale.name+"/"+q.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := cq.Eval(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := xquery.Serialize(res); got != want {
+						b.Fatalf("got %q, want %q", got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
 // ---- public API end-to-end ----------------------------------------------------
 
 func BenchmarkPublicAPIEndToEnd(b *testing.B) {

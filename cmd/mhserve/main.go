@@ -29,13 +29,34 @@
 //	DELETE /docs/{name}  remove a document
 //	POST   /query        {"query":.., "doc":"name" | "collection":"glob", "format":"xml"|"text"}
 //
+// POST /query accepts two query parameters that expose the cursor
+// engine's streaming execution:
+//
+//   - ?limit=N bounds the result to N items. Evaluation stops once the
+//     limit is produced (O(answer), not O(document)): single-document
+//     queries stream and stop, collection fan-outs cap every row and
+//     truncate to the global budget in document name order.
+//   - ?stream=1 switches the response to NDJSON (application/x-ndjson):
+//     one JSON object {"doc":..,"item":..} per result item, written and
+//     flushed as it is produced, with {"doc":..,"error":..} rows for
+//     per-document failures. Collection-wide streams evaluate documents
+//     one at a time in name order, so server memory stays bounded by a
+//     single item regardless of result size.
+//
 // POST /query?explain=1 additionally returns the physical operator tree
-// of the evaluation — which steps ran as structural-index scans versus
-// axis scans, with per-operator cardinalities — under "plan". EXPLAIN
-// requires a single target document ("doc").
+// of the evaluation — the whole lowered query (FLWOR clauses,
+// predicates, calls), index-vs-axis decisions and per-operator
+// cardinalities — under "plan". EXPLAIN requires a single target
+// document ("doc") and is incompatible with ?stream=1.
+//
+// Query evaluation is bounded: request bodies beyond -max-body bytes
+// are rejected with 413, and -timeout caps wall-clock evaluation time
+// per request (504 on expiry; mid-stream expiry ends the NDJSON stream
+// with an error row).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -44,6 +65,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux (the -pprof listener only)
 	"os"
+	"strconv"
 	"time"
 
 	"mhxquery"
@@ -60,6 +82,8 @@ func main() {
 	cache := flag.Int("cache", 0, "compiled-query cache entries (0 = 128, negative = disabled)")
 	boethius := flag.Bool("boethius", false, "preload the paper's Figure 1 fixture as \"boethius\"")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. localhost:6060; empty = disabled)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request query evaluation timeout (0 = unlimited)")
+	maxBody := flag.Int64("max-body", maxBodyBytes, "maximum request body size in bytes")
 	flag.Parse()
 
 	coll, err := openCollection(*dir, *workers, *cache, *boethius)
@@ -77,7 +101,7 @@ func main() {
 			}
 		}()
 	}
-	s := &server{coll: coll}
+	s := &server{coll: coll, timeout: *timeout, maxBody: *maxBody}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: s.routes(),
@@ -129,6 +153,12 @@ func openCollection(dir string, workers, cache int, boethius bool) (*mhxquery.Co
 // server is the HTTP layer over a document collection.
 type server struct {
 	coll *mhxquery.Collection
+	// timeout caps query evaluation wall-clock time per request
+	// (0 = unlimited); the cursor engine polls the deadline between
+	// items, so even pathological queries stop promptly.
+	timeout time.Duration
+	// maxBody caps request bodies (MaxBytesReader).
+	maxBody int64
 }
 
 func (s *server) routes() http.Handler {
@@ -204,8 +234,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	limit := s.maxBody
+	if limit <= 0 {
+		limit = maxBodyBytes
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -252,7 +286,7 @@ func (s *server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req putDocRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Hierarchies) == 0 {
@@ -305,9 +339,65 @@ func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// queryParams are the parsed ?limit= / ?stream= / ?explain= query
+// parameters of POST /query.
+type queryParams struct {
+	limit   int // 0 = unlimited
+	stream  bool
+	explain bool
+}
+
+func parseQueryParams(r *http.Request) (queryParams, error) {
+	var p queryParams
+	q := r.URL.Query()
+	switch q.Get("explain") {
+	case "", "0", "false":
+	case "1", "true":
+		p.explain = true
+	default:
+		return p, fmt.Errorf("explain must be 0/1")
+	}
+	switch q.Get("stream") {
+	case "", "0", "false":
+	case "1", "true":
+		p.stream = true
+	default:
+		return p, fmt.Errorf("stream must be 0/1")
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("limit must be a non-negative integer")
+		}
+		p.limit = n
+	}
+	return p, nil
+}
+
+// queryContext derives the evaluation context: the request context
+// (client disconnects cancel evaluation), bounded by the server's
+// query timeout.
+func (s *server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// queryStatus maps an evaluation error to an HTTP status.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, mhxquery.ErrDocNotFound):
+		return http.StatusNotFound
+	case mhxquery.IsCanceled(err):
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Query == "" {
@@ -323,55 +413,45 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown format %q (want \"xml\" or \"text\")", req.Format)
 		return
 	}
-
-	explain := false
-	switch r.URL.Query().Get("explain") {
-	case "", "0", "false":
-	case "1", "true":
-		explain = true
-	default:
-		writeError(w, http.StatusBadRequest, "explain must be 0/1")
+	p, err := parseQueryParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if explain && req.Doc == "" {
+	if p.explain && req.Doc == "" {
 		writeError(w, http.StatusBadRequest, `explain requires a single target document ("doc")`)
 		return
 	}
-
-	if req.Doc != "" {
-		if req.Collection != "" {
-			writeError(w, http.StatusBadRequest, `"doc" and "collection" are mutually exclusive`)
-			return
-		}
-		var (
-			res  mhxquery.Sequence
-			plan *mhxquery.PlanOp
-			err  error
-		)
-		if explain {
-			res, plan, err = s.coll.Explain(req.Doc, req.Query)
-		} else {
-			res, err = s.coll.Query(req.Doc, req.Query)
-		}
-		if err != nil {
-			status := http.StatusBadRequest
-			if errors.Is(err, mhxquery.ErrDocNotFound) {
-				status = http.StatusNotFound
-			}
-			writeError(w, status, "%v", err)
-			return
-		}
-		out := render(res)
-		writeJSON(w, http.StatusOK, queryResponse{
-			Results: []queryResult{{Doc: req.Doc, Result: &out}},
-			Plan:    plan,
-		})
+	if p.explain && p.stream {
+		writeError(w, http.StatusBadRequest, "explain and stream are mutually exclusive")
 		return
 	}
+	if req.Doc != "" && req.Collection != "" {
+		writeError(w, http.StatusBadRequest, `"doc" and "collection" are mutually exclusive`)
+		return
+	}
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
 
-	results, err := s.coll.QueryMatching(req.Collection, req.Query)
+	if p.stream {
+		s.streamQuery(ctx, w, &req, p, render)
+		return
+	}
+	if req.Doc != "" {
+		s.queryOneDoc(ctx, w, &req, p, render)
+		return
+	}
+	results, err := s.coll.QueryMatchingLimit(ctx, req.Collection, req.Query, p.limit)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, queryStatus(err), "%v", err)
+		return
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		// The request deadline expired mid-fan-out: per-row errors would
+		// render as a 200; report the timeout for the whole request.
+		// (Plain cancellation means the client went away — nothing we
+		// write will be read, so fall through.)
+		writeError(w, http.StatusGatewayTimeout, "query timed out after %v", s.timeout)
 		return
 	}
 	resp := queryResponse{Results: make([]queryResult, len(results))}
@@ -386,4 +466,115 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = qr
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryOneDoc answers a non-streaming single-document query. With a
+// limit the evaluation runs through the document's cursor stream and
+// stops at the limit; without one (and for EXPLAIN) it materializes.
+func (s *server) queryOneDoc(ctx context.Context, w http.ResponseWriter, req *queryRequest, p queryParams, render func(mhxquery.Sequence) string) {
+	if p.explain {
+		res, plan, err := s.coll.Explain(req.Doc, req.Query)
+		if err != nil {
+			writeError(w, queryStatus(err), "%v", err)
+			return
+		}
+		out := render(res)
+		writeJSON(w, http.StatusOK, queryResponse{
+			Results: []queryResult{{Doc: req.Doc, Result: &out}},
+			Plan:    plan,
+		})
+		return
+	}
+	// Without a limit the strict evaluator is the faster full drain;
+	// with one, the stream stops document evaluation at the limit.
+	var res mhxquery.Sequence
+	var err error
+	if p.limit == 0 {
+		res, err = s.coll.QueryContext(ctx, req.Doc, req.Query)
+	} else {
+		var st *mhxquery.Stream
+		if st, err = s.coll.StreamDoc(ctx, req.Doc, req.Query); err == nil {
+			res, err = st.Take(p.limit)
+		}
+	}
+	if err != nil {
+		writeError(w, queryStatus(err), "%v", err)
+		return
+	}
+	out := render(res)
+	writeJSON(w, http.StatusOK, queryResponse{
+		Results: []queryResult{{Doc: req.Doc, Result: &out}},
+	})
+}
+
+// streamRow is one NDJSON line of a streaming query response.
+type streamRow struct {
+	Doc   string `json:"doc"`
+	Item  string `json:"item,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// streamQuery writes the result as NDJSON, one row per item, flushed
+// as produced. Evaluation stops as soon as the limit is reached (the
+// cursor engine does no further document work) or the client goes
+// away.
+func (s *server) streamQuery(ctx context.Context, w http.ResponseWriter, req *queryRequest, p queryParams, render func(mhxquery.Sequence) string) {
+	// Open the stream before committing a status: compile errors and
+	// unknown documents surface synchronously here and deserve the same
+	// 400/404 the non-stream path gives. Only evaluation errors found
+	// mid-stream become NDJSON error rows.
+	var (
+		st  *mhxquery.Stream
+		cs  *mhxquery.CollectionStream
+		err error
+	)
+	if req.Doc != "" {
+		st, err = s.coll.StreamDoc(ctx, req.Doc, req.Query)
+	} else {
+		cs, err = s.coll.StreamMatching(ctx, req.Collection, req.Query)
+	}
+	if err != nil {
+		writeError(w, queryStatus(err), "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(row streamRow) {
+		if err := enc.Encode(row); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	n := 0
+	if st != nil {
+		for p.limit == 0 || n < p.limit {
+			item, ok, err := st.Next()
+			if err != nil {
+				emit(streamRow{Doc: req.Doc, Error: err.Error()})
+				return
+			}
+			if !ok {
+				return
+			}
+			n++
+			emit(streamRow{Doc: req.Doc, Item: render(item)})
+		}
+		return
+	}
+	for p.limit == 0 || n < p.limit {
+		row, ok := cs.Next()
+		if !ok {
+			return
+		}
+		if row.Err != nil {
+			emit(streamRow{Doc: row.Doc, Error: row.Err.Error()})
+			continue
+		}
+		n++
+		emit(streamRow{Doc: row.Doc, Item: render(row.Item)})
+	}
 }

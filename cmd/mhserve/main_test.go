@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"mhxquery"
 )
@@ -359,5 +361,196 @@ func TestServerExplain(t *testing.T) {
 	if code := do(t, http.MethodPost, ts.URL+"/query?explain=2",
 		queryRequest{Query: `1`, Doc: "hello"}, &errResp); code != http.StatusBadRequest {
 		t.Fatalf("explain=2: status %d", code)
+	}
+}
+
+// putHelloDoc ingests the small two-hierarchy hello/world fixture.
+func putHelloDoc(t *testing.T, ts *httptest.Server, name string) {
+	t.Helper()
+	putTestDoc(t, ts.URL, name,
+		`<r><page>Hello wo</page><page>rld</page></r>`,
+		`<r><w>Hello</w> <w>world</w></r>`)
+}
+
+// rawQuery posts a query body and returns the raw response.
+func rawQuery(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, sb.String()
+}
+
+func TestServerStreamNDJSON(t *testing.T) {
+	ts := newTestServer(t)
+	putHelloDoc(t, ts, "a")
+	putHelloDoc(t, ts, "b")
+
+	// Single-document stream: one NDJSON row per item.
+	resp, body := rawQuery(t, ts, "/query?stream=1", queryRequest{Query: `/descendant::w`, Doc: "a"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 rows, got %d: %q", len(lines), body)
+	}
+	var row streamRow
+	if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Doc != "a" || row.Item != "<w>Hello</w>" {
+		t.Fatalf("row = %+v", row)
+	}
+
+	// Collection-wide stream with a limit: rows come in name order and
+	// stop at the limit.
+	resp, body = rawQuery(t, ts, "/query?stream=1&limit=3", queryRequest{Query: `/descendant::w/string(.)`, Format: "text"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	lines = strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 rows, got %d: %q", len(lines), body)
+	}
+	var docs, items []string
+	for _, ln := range lines {
+		var r streamRow
+		if err := json.Unmarshal([]byte(ln), &r); err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, r.Doc)
+		items = append(items, r.Item)
+	}
+	if got := strings.Join(docs, ","); got != "a,a,b" {
+		t.Fatalf("docs = %s", got)
+	}
+	if got := strings.Join(items, ","); got != "Hello,world,Hello" {
+		t.Fatalf("items = %s", got)
+	}
+}
+
+func TestServerQueryLimit(t *testing.T) {
+	ts := newTestServer(t)
+	putHelloDoc(t, ts, "a")
+	putHelloDoc(t, ts, "b")
+
+	// Doc-targeted limit.
+	var resp queryResponse
+	if status := do(t, "POST", ts.URL+"/query?limit=1", queryRequest{Query: `/descendant::w`, Doc: "a"}, &resp); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if got := resultOf(resp.Results[0]); got != "<w>Hello</w>" {
+		t.Fatalf("limited result = %q", got)
+	}
+
+	// Collection-wide limit: the budget is spent in name order.
+	resp = queryResponse{}
+	if status := do(t, "POST", ts.URL+"/query?limit=3", queryRequest{Query: `/descendant::w/string(.)`, Format: "text"}, &resp); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	if a, b := resultOf(resp.Results[0]), resultOf(resp.Results[1]); a != "Hello world" || b != "Hello" {
+		t.Fatalf("limited fan-out = %q / %q", a, b)
+	}
+}
+
+// TestServerQueryBodyTooLarge exercises the MaxBytesReader cap on
+// /query bodies.
+func TestServerQueryBodyTooLarge(t *testing.T) {
+	coll, err := openCollection("", 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{coll: coll, maxBody: 256}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+
+	big := queryRequest{Query: "count(/descendant::" + strings.Repeat("x", 1024) + ")"}
+	resp, _ := rawQuery(t, ts, "/query", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestServerQueryTimeout exercises the -timeout evaluation deadline:
+// an effectively unbounded query must be cut off with 504, not pin the
+// handler.
+func TestServerQueryTimeout(t *testing.T) {
+	coll, err := openCollection("", 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{coll: coll, timeout: 50 * time.Millisecond}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	putHelloDoc(t, ts, "a")
+
+	start := time.Now()
+	resp, body := rawQuery(t, ts, "/query", queryRequest{Query: `count(1 to 100000000000)`, Doc: "a"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+
+	// A bare range (no aggregating loop) must be cut off too — the
+	// drain itself polls the deadline.
+	resp, body = rawQuery(t, ts, "/query", queryRequest{Query: `1 to 100000000000`, Doc: "a"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("bare range: status %d (%s), want 504", resp.StatusCode, body)
+	}
+
+	// A timed-out collection fan-out is a 504, not a 200 with per-row
+	// error strings.
+	resp, body = rawQuery(t, ts, "/query", queryRequest{Query: `count(1 to 100000000000)`})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("fan-out: status %d (%s), want 504", resp.StatusCode, body)
+	}
+
+	// Mid-stream expiry ends the NDJSON stream with an error row.
+	resp, body = rawQuery(t, ts, "/query?stream=1", queryRequest{Query: `count(1 to 100000000000)`, Doc: "a"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	var last streamRow
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Error == "" {
+		t.Fatalf("want error row, got %q", body)
+	}
+}
+
+// TestServerStreamErrorsBeforeBody: errors detectable before any item
+// is produced keep their HTTP status in stream mode.
+func TestServerStreamErrorsBeforeBody(t *testing.T) {
+	ts := newTestServer(t)
+	putHelloDoc(t, ts, "a")
+
+	resp, _ := rawQuery(t, ts, "/query?stream=1", queryRequest{Query: `((`, Doc: "a"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = rawQuery(t, ts, "/query?stream=1", queryRequest{Query: `//w`, Doc: "nope"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown doc: status %d, want 404", resp.StatusCode)
 	}
 }

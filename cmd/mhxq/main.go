@@ -3,19 +3,25 @@
 //
 // Usage:
 //
-//	mhxq -h name1=file1.xml -h name2=file2.xml [-f query.xq | -q 'query'] [-format xml|text]
+//	mhxq -h name1=file1.xml -h name2=file2.xml [-f query.xq | -q 'query'] [-format xml|text] [-limit N]
 //	mhxq -boethius -q 'count(/descendant::w)'
-//	mhxq -boethius -explain -q '/descendant::line'
+//	mhxq -boethius -limit 1 -q '//w'
+//	mhxq -boethius -explain -q 'for $w in //w return string($w)'
 //
 // Each -h flag registers one markup hierarchy (name=path). All encodings
 // must share the root element name and base text. With -boethius the
 // built-in Figure 1 fixture of the paper is loaded instead. With
 // -explain the query is evaluated with per-operator instrumentation and
 // a JSON object {"result":…, "plan":…} is printed, where plan is the
-// physical operator tree (index-vs-scan decisions and cardinalities).
+// physical operator tree of the whole lowered query — FLWOR clauses,
+// predicates and calls included, with index-vs-scan decisions and
+// cardinalities. With -limit N the query evaluates through the
+// streaming cursor engine and stops after N result items (O(answer)
+// work, not O(document)).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,15 +52,16 @@ func main() {
 	format := flag.String("format", "xml", "output format: xml or text")
 	boethius := flag.Bool("boethius", false, "use the built-in Figure 1 fixture")
 	explain := flag.Bool("explain", false, "print the physical plan with per-operator cardinalities as JSON")
+	limit := flag.Int("limit", 0, "stop after N result items (0 = all); evaluation is lazy and does only the work the limit needs")
 	flag.Parse()
 
-	if err := run(hiers, *query, *queryFile, *format, *boethius, *explain); err != nil {
+	if err := run(hiers, *query, *queryFile, *format, *boethius, *explain, *limit); err != nil {
 		fmt.Fprintln(os.Stderr, "mhxq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hiers []string, query, queryFile, format string, boethius, explain bool) error {
+func run(hiers []string, query, queryFile, format string, boethius, explain bool, limit int) error {
 	src := query
 	if queryFile != "" {
 		b, err := os.ReadFile(queryFile)
@@ -104,9 +111,20 @@ func run(hiers []string, query, queryFile, format string, boethius, explain bool
 		enc.SetIndent("", "  ")
 		return enc.Encode(map[string]any{"result": rendered, "plan": plan})
 	}
-	res, err := doc.Query(src)
-	if err != nil {
-		return err
+	var res mhxquery.Sequence
+	if limit > 0 {
+		st, err := doc.Stream(context.Background(), src)
+		if err != nil {
+			return err
+		}
+		if res, err = st.Take(limit); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if res, err = doc.Query(src); err != nil {
+			return err
+		}
 	}
 	if format == "text" {
 		fmt.Println(res.Text())

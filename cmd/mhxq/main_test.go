@@ -7,10 +7,10 @@ import (
 )
 
 func TestRunBoethius(t *testing.T) {
-	if err := run(nil, `count(/descendant::w)`, "", "xml", true, false); err != nil {
+	if err := run(nil, `count(/descendant::w)`, "", "xml", true, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(nil, `string(/descendant::w[1])`, "", "text", true, false); err != nil {
+	if err := run(nil, `string(/descendant::w[1])`, "", "text", true, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -25,14 +25,14 @@ func TestRunFiles(t *testing.T) {
 	if err := os.WriteFile(b, []byte(`<r>a<x>bc</x>d</r>`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"pages=" + a, "spans=" + b}, `count(/descendant::x[overlapping::p])`, "", "xml", false, false); err != nil {
+	if err := run([]string{"pages=" + a, "spans=" + b}, `count(/descendant::x[overlapping::p])`, "", "xml", false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	qf := filepath.Join(dir, "q.xq")
 	if err := os.WriteFile(qf, []byte(`string(/descendant::p[1])`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"pages=" + a, "spans=" + b}, "", qf, "xml", false, false); err != nil {
+	if err := run([]string{"pages=" + a, "spans=" + b}, "", qf, "xml", false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -42,11 +42,11 @@ func TestRunErrors(t *testing.T) {
 		name string
 		fn   func() error
 	}{
-		{"no query", func() error { return run(nil, "", "", "xml", true, false) }},
-		{"no hierarchies", func() error { return run(nil, "1", "", "xml", false, false) }},
-		{"missing file", func() error { return run([]string{"a=/nope/missing.xml"}, "1", "", "xml", false, false) }},
-		{"bad query", func() error { return run(nil, "for $x in", "", "xml", true, false) }},
-		{"missing query file", func() error { return run(nil, "", "/nope/q.xq", "xml", true, false) }},
+		{"no query", func() error { return run(nil, "", "", "xml", true, false, 0) }},
+		{"no hierarchies", func() error { return run(nil, "1", "", "xml", false, false, 0) }},
+		{"missing file", func() error { return run([]string{"a=/nope/missing.xml"}, "1", "", "xml", false, false, 0) }},
+		{"bad query", func() error { return run(nil, "for $x in", "", "xml", true, false, 0) }},
+		{"missing query file", func() error { return run(nil, "", "/nope/q.xq", "xml", true, false, 0) }},
 	}
 	for _, tc := range cases {
 		if err := tc.fn(); err == nil {
@@ -69,13 +69,22 @@ func TestHierFlags(t *testing.T) {
 }
 
 func TestRunExplain(t *testing.T) {
-	if err := run(nil, `/descendant::line`, "", "xml", true, true); err != nil {
+	if err := run(nil, `/descendant::line`, "", "xml", true, true, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(nil, `string(/descendant::w[1])`, "", "text", true, true); err != nil {
+	if err := run(nil, `string(/descendant::w[1])`, "", "text", true, true, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(nil, `for $x in`, "", "xml", true, true); err == nil {
+	if err := run(nil, `for $x in`, "", "xml", true, true, 0); err == nil {
 		t.Fatal("bad query with -explain: want error")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	if err := run(nil, `//w`, "", "xml", true, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, `//leaf()`, "", "text", true, false, 3); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,9 +1,11 @@
 package mhxquery
 
 import (
+	"context"
 	"fmt"
 
 	"mhxquery/internal/collection"
+	"mhxquery/internal/xquery"
 )
 
 // ErrDocNotFound is wrapped by errors that report a name with no
@@ -86,7 +88,13 @@ func (c *Collection) Len() int { return c.c.Len() }
 // Document.Query, doc() and collection() are live inside src, resolved
 // against this collection.
 func (c *Collection) Query(name, src string) (Sequence, error) {
-	seq, d, err := c.c.QueryDoc(name, src)
+	return c.QueryContext(context.Background(), name, src)
+}
+
+// QueryContext is Query under a cancellation context: when ctx expires
+// the evaluation stops within a bounded number of items.
+func (c *Collection) QueryContext(ctx context.Context, name, src string) (Sequence, error) {
+	seq, d, err := c.c.QueryDocContext(ctx, name, src)
 	if err != nil {
 		return Sequence{}, err
 	}
@@ -122,17 +130,22 @@ type CollectionResult struct {
 // results in name order. The compiled form of src is cached and reused
 // across calls.
 func (c *Collection) QueryAll(src string) ([]CollectionResult, error) {
-	return c.queryMany(src, "")
+	return c.QueryMatching("", src)
 }
 
 // QueryMatching is QueryAll restricted to documents whose names match
 // the glob pattern (path.Match syntax).
 func (c *Collection) QueryMatching(pattern, src string) ([]CollectionResult, error) {
-	return c.queryMany(src, pattern)
+	return c.QueryMatchingLimit(context.Background(), pattern, src, 0)
 }
 
-func (c *Collection) queryMany(src, pattern string) ([]CollectionResult, error) {
-	results, err := c.c.QueryAll(src, pattern)
+// QueryMatchingLimit is QueryMatching under a cancellation context and
+// a global result budget: limit > 0 bounds the total number of items
+// across the fan-out in document name order, and each document's
+// evaluation stops as soon as the budget cannot use more of its items.
+// Rows past the budget keep an empty result.
+func (c *Collection) QueryMatchingLimit(ctx context.Context, pattern, src string, limit int) ([]CollectionResult, error) {
+	results, err := c.c.QueryAllLimit(ctx, src, pattern, limit)
 	if err != nil {
 		return nil, err
 	}
@@ -144,6 +157,63 @@ func (c *Collection) queryMany(src, pattern string) ([]CollectionResult, error) 
 		}
 	}
 	return out, nil
+}
+
+// StreamDoc starts a lazy evaluation of src against the named member
+// document: items are produced on demand, so a limit (or an abandoned
+// stream) stops document evaluation early. doc()/collection() inside
+// src resolve against this collection's registry epoch at the start.
+func (c *Collection) StreamDoc(ctx context.Context, name, src string) (*Stream, error) {
+	s, d, err := c.c.StreamDoc(ctx, name, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{s: s, d: d}, nil
+}
+
+// CollectionRow is one event of a collection-wide stream: one result
+// item of one document, or a per-document evaluation error (which does
+// not abort the remaining documents).
+type CollectionRow struct {
+	// Doc is the document's registry name.
+	Doc string
+	// Item is the result item as a one-item Sequence; zero when Err is
+	// set.
+	Item Sequence
+	// Err is the document's evaluation error, if any.
+	Err error
+}
+
+// CollectionStream streams one query across member documents in name
+// order with bounded memory: at most one document evaluates at a time,
+// nothing is materialized beyond the item in flight, and abandoning the
+// stream stops all remaining work.
+type CollectionStream struct {
+	rows *collection.Rows
+}
+
+// StreamMatching starts a collection-wide lazy evaluation over the
+// documents whose names match pattern ("" = all), in name order.
+func (c *Collection) StreamMatching(ctx context.Context, pattern, src string) (*CollectionStream, error) {
+	rows, err := c.c.StreamAll(ctx, src, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &CollectionStream{rows: rows}, nil
+}
+
+// Next returns the next row, or ok=false when every document is
+// exhausted.
+func (s *CollectionStream) Next() (CollectionRow, bool) {
+	ev, ok := s.rows.Next()
+	if !ok {
+		return CollectionRow{}, false
+	}
+	row := CollectionRow{Doc: ev.Name, Err: ev.Err}
+	if ev.Err == nil {
+		row.Item = Sequence{s: xquery.Seq{ev.Item}, d: ev.Doc}
+	}
+	return row, true
 }
 
 // CollectionCacheStats reports compiled-query cache effectiveness.

@@ -11,6 +11,7 @@
 package collection
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -432,6 +433,13 @@ func (c *Collection) Query(name, src string) (xquery.Seq, error) {
 // the evaluation — including doc()/collection() inside the query —
 // sees one registry epoch, captured at the start.
 func (c *Collection) QueryDoc(name, src string) (xquery.Seq, *core.Document, error) {
+	return c.QueryDocContext(context.Background(), name, src)
+}
+
+// QueryDocContext is QueryDoc under a cancellation context: the strict
+// (fully materializing) evaluation route, preferred over draining a
+// stream when no limit applies.
+func (c *Collection) QueryDocContext(ctx context.Context, name, src string) (xquery.Seq, *core.Document, error) {
 	q, err := c.Compile(src)
 	if err != nil {
 		return nil, nil, err
@@ -441,11 +449,29 @@ func (c *Collection) QueryDoc(name, src string) (xquery.Seq, *core.Document, err
 	if err != nil {
 		return nil, nil, fmt.Errorf("collection: %w", err)
 	}
-	seq, err := c.planFor(src, q, d).Eval(d, nil, v)
+	seq, err := c.planFor(src, q, d).EvalContext(ctx, d, nil, v)
 	if err != nil {
 		return nil, nil, err
 	}
 	return seq, d, nil
+}
+
+// StreamDoc starts a lazy, cursor-driven evaluation of src against the
+// named document: items are produced on demand, so a caller applying a
+// limit (or a disconnecting HTTP client) stops document evaluation
+// after the items it consumed. ctx cancels the evaluation mid-stream.
+// Like QueryDoc, the evaluation sees one registry epoch.
+func (c *Collection) StreamDoc(ctx context.Context, name, src string) (*xquery.Stream, *core.Document, error) {
+	q, err := c.Compile(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	v := c.view()
+	d, err := v.ResolveDoc(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("collection: %w", err)
+	}
+	return c.planFor(src, q, d).Stream(ctx, d, nil, v), d, nil
 }
 
 // ExplainDoc is QueryDoc with per-operator instrumentation: it returns

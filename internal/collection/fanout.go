@@ -1,6 +1,7 @@
 package collection
 
 import (
+	"context"
 	"sync"
 
 	"mhxquery/internal/core"
@@ -30,6 +31,17 @@ type Result struct {
 // one registry epoch: a concurrent Put neither blocks the fan-out nor
 // joins it, in any of its rows.
 func (c *Collection) QueryAll(src, pattern string) ([]Result, error) {
+	return c.QueryAllLimit(context.Background(), src, pattern, 0)
+}
+
+// QueryAllLimit is QueryAll under a cancellation context and a global
+// result budget: limit > 0 bounds the TOTAL number of items across the
+// fan-out in document name order. Each worker evaluates its document
+// through a cursor capped at limit items (an upper bound for any single
+// row), so no document is drained past what the budget can possibly
+// use; a final name-order pass truncates to the global budget, leaving
+// later rows empty once it is spent.
+func (c *Collection) QueryAllLimit(ctx context.Context, src, pattern string, limit int) ([]Result, error) {
 	q, err := c.Compile(src)
 	if err != nil {
 		return nil, err
@@ -39,9 +51,22 @@ func (c *Collection) QueryAll(src, pattern string) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runPool(c.workers, len(docs), func(i int) Result {
-		return evalOne(q, v, names[i], docs[i])
-	}), nil
+	results := runPool(c.workers, len(docs), func(i int) Result {
+		return c.evalOne(ctx, q, src, v, names[i], docs[i], limit)
+	})
+	if limit > 0 {
+		remaining := limit
+		for i := range results {
+			if results[i].Err != nil {
+				continue
+			}
+			if len(results[i].Seq) > remaining {
+				results[i].Seq = results[i].Seq[:remaining]
+			}
+			remaining -= len(results[i].Seq)
+		}
+	}
+	return results, nil
 }
 
 // runPool runs jobs 0..n-1 on at most workers goroutines and returns
@@ -76,10 +101,97 @@ func runPool(workers, n int, job func(int) Result) []Result {
 	return results
 }
 
-func evalOne(q *xquery.Query, r xquery.Resolver, name string, d *core.Document) Result {
-	seq, err := q.EvalWithResolver(d, nil, r)
+// evalOne evaluates one fan-out row through the shared plan cache.
+// With a limit the evaluation streams and stops at the cap instead of
+// draining the document.
+func (c *Collection) evalOne(ctx context.Context, q *xquery.Query, src string, v *view, name string, d *core.Document, limit int) Result {
+	pl := c.planFor(src, q, d)
+	if limit <= 0 {
+		seq, err := pl.EvalContext(ctx, d, nil, v)
+		if err != nil {
+			return Result{Name: name, Doc: d, Err: err}
+		}
+		return Result{Name: name, Doc: d, Seq: seq}
+	}
+	seq, err := pl.Stream(ctx, d, nil, v).Take(limit)
 	if err != nil {
 		return Result{Name: name, Doc: d, Err: err}
 	}
 	return Result{Name: name, Doc: d, Seq: seq}
+}
+
+// Event is one outcome of a collection stream: one result item of one
+// document's evaluation, or a per-document error (which, like a
+// QueryAll row error, does not abort the remaining documents).
+type Event struct {
+	// Name is the document's registry name.
+	Name string
+	// Doc is the document the item belongs to.
+	Doc *core.Document
+	// Item is the result item; nil when Err is set.
+	Item xquery.Item
+	// Err is the document's evaluation error, if any.
+	Err error
+}
+
+// Rows is a lazy cursor over one query evaluated across member
+// documents in name order: document k+1's evaluation does not start
+// until document k's stream is exhausted, and abandoning the cursor
+// (a satisfied limit, a disconnected client) stops all remaining work.
+// Rows is single-use and not safe for concurrent use.
+type Rows struct {
+	ctx   context.Context
+	coll  *Collection
+	src   string
+	q     *xquery.Query
+	v     *view
+	names []string
+	docs  []*core.Document
+	i     int
+	cur   *xquery.Stream
+}
+
+// StreamAll evaluates src across every member document whose name
+// matches pattern ("" = all) as a lazy name-order stream. Unlike
+// QueryAll it trades fan-out parallelism for bounded memory: at most
+// one document evaluates at a time and nothing is materialized beyond
+// the item in flight.
+func (c *Collection) StreamAll(ctx context.Context, src, pattern string) (*Rows, error) {
+	q, err := c.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	v := c.view()
+	names, docs, err := v.match(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{ctx: ctx, coll: c, src: src, q: q, v: v, names: names, docs: docs}, nil
+}
+
+// Next returns the next event, or ok=false when every document is
+// exhausted.
+func (r *Rows) Next() (Event, bool) {
+	for {
+		if r.cur == nil {
+			if r.i >= len(r.docs) {
+				return Event{}, false
+			}
+			d := r.docs[r.i]
+			r.cur = r.coll.planFor(r.src, r.q, d).Stream(r.ctx, d, nil, r.v)
+		}
+		it, ok, err := r.cur.Next()
+		name, d := r.names[r.i], r.docs[r.i]
+		if err != nil {
+			r.cur = nil
+			r.i++
+			return Event{Name: name, Doc: d, Err: err}, true
+		}
+		if !ok {
+			r.cur = nil
+			r.i++
+			continue
+		}
+		return Event{Name: name, Doc: d, Item: it}, true
+	}
 }

@@ -1,6 +1,7 @@
 package collection
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -79,5 +80,89 @@ func TestRunPoolSmall(t *testing.T) {
 	got := runPool(1, 3, func(i int) Result { return Result{Name: fmt.Sprint(i)} })
 	if len(got) != 3 || got[2].Name != "2" {
 		t.Fatalf("sequential path: %v", got)
+	}
+}
+
+// TestStreamAllNameOrder checks the lazy collection stream: items come
+// grouped by document in name order and abandoning the stream is safe.
+func TestStreamAllNameOrder(t *testing.T) {
+	c := New(Options{})
+	for _, name := range []string{"bb", "aa", "cc"} {
+		if _, err := c.Put(name, genDoc(t, 3, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := c.StreamAll(context.Background(), `/descendant::w`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for {
+		ev, ok := rows.Next()
+		if !ok {
+			break
+		}
+		if ev.Err != nil {
+			t.Fatalf("%s: %v", ev.Name, ev.Err)
+		}
+		if len(names) == 0 || names[len(names)-1] != ev.Name {
+			names = append(names, ev.Name)
+		}
+	}
+	if fmt.Sprint(names) != "[aa bb cc]" {
+		t.Fatalf("document order = %v", names)
+	}
+
+	// Per-document errors do not abort the remaining documents.
+	rows, err = c.StreamAll(context.Background(), `/descendant::w('nope')`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs, docs := 0, 0
+	for {
+		ev, ok := rows.Next()
+		if !ok {
+			break
+		}
+		docs++
+		if ev.Err != nil {
+			errs++
+		}
+	}
+	if errs != 3 || docs != 3 {
+		t.Fatalf("errs=%d docs=%d, want 3/3", errs, docs)
+	}
+}
+
+// TestQueryAllLimit checks the global fan-out budget: name-order
+// truncation, later rows left empty.
+func TestQueryAllLimit(t *testing.T) {
+	c := New(Options{})
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := c.Put(name, genDoc(t, 4, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := c.QueryAll(`/descendant::w`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDoc := len(all[0].Seq)
+	if perDoc < 2 {
+		t.Fatalf("fixture too small: %d words/doc", perDoc)
+	}
+	limit := perDoc + 1 // all of a, one item of b, nothing of c
+	results, err := c.QueryAllLimit(context.Background(), `/descendant::w`, "", limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(results[0].Seq); got != perDoc {
+		t.Fatalf("row a = %d items, want %d", got, perDoc)
+	}
+	if got := len(results[1].Seq); got != 1 {
+		t.Fatalf("row b = %d items, want 1", got)
+	}
+	if got := len(results[2].Seq); got != 0 {
+		t.Fatalf("row c = %d items, want 0", got)
 	}
 }

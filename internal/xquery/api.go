@@ -1,18 +1,24 @@
 package xquery
 
 import (
+	stdctx "context"
+
 	"mhxquery/internal/core"
 )
 
 // Query is a compiled extended-XQuery expression. A Query is immutable
 // and safe for concurrent evaluation against any number of documents.
 // Evaluation is plan-driven: the first evaluation against a document
-// hierarchy layout lowers the AST to physical operators (plan.go) and
-// caches the plan by layout signature.
+// hierarchy layout lowers the whole AST to physical operators (plan.go)
+// and caches the plan by layout signature; execution pulls results
+// through cursors, so early-exit consumers (and Stream with a limit)
+// stop the pipeline after the items they need.
 type Query struct {
-	src    string
-	body   expr
-	nPaths int
+	src  string
+	body expr
+	// strictOnly marks queries containing analyze-string, which must
+	// evaluate in interpreter order (lower.go).
+	strictOnly bool
 
 	plans planCache
 }
@@ -35,12 +41,7 @@ func Compile(src string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	q := &Query{src: src, body: body}
-	forEachPath(body, func(p *pathExpr) {
-		q.nPaths++
-		p.id = q.nPaths
-	})
-	return q, nil
+	return &Query{src: src, body: body, strictOnly: hasAnalyzeString(body)}, nil
 }
 
 // MustCompile is Compile panicking on error; for fixtures and tests.
@@ -73,7 +74,14 @@ func (q *Query) EvalWithVars(d *core.Document, vars map[string]Seq) (Seq, error)
 // and a document resolver backing the doc() and collection() functions.
 // With a nil resolver those functions raise FODC0002/FODC0004.
 func (q *Query) EvalWithResolver(d *core.Document, vars map[string]Seq, r Resolver) (Seq, error) {
-	return q.PlanFor(d).eval(d, vars, r, nil)
+	return q.PlanFor(d).eval(nil, d, vars, r, nil)
+}
+
+// EvalContext is EvalWithResolver under a cancellation context: when
+// ctx is canceled (deadline, client disconnect) the evaluation stops
+// within a bounded number of items and returns an MHXQ0002 error.
+func (q *Query) EvalContext(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver) (Seq, error) {
+	return q.PlanFor(d).eval(ctx, d, vars, r, nil)
 }
 
 // PlanFor returns the query lowered to physical operators for d's
@@ -92,11 +100,29 @@ func (q *Query) PlanFor(d *core.Document) *Plan {
 // Eval evaluates the plan's query against d with externally bound
 // variables and an optional resolver.
 func (pl *Plan) Eval(d *core.Document, vars map[string]Seq, r Resolver) (Seq, error) {
-	return pl.eval(d, vars, r, nil)
+	return pl.eval(nil, d, vars, r, nil)
 }
 
-func (pl *Plan) eval(d *core.Document, vars map[string]Seq, r Resolver, counts []opCard) (Seq, error) {
-	st := &evalState{doc: d, resolver: r}
+// EvalContext is Eval under a cancellation context.
+func (pl *Plan) EvalContext(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver) (Seq, error) {
+	return pl.eval(ctx, d, vars, r, nil)
+}
+
+// eval is the strict (fully materializing) entry point: the lowered
+// program evaluates through the pnode eval route, which engages
+// streaming only where an early exit exists to exploit (filters,
+// exists/empty/count, quantifiers). Stream is the item-at-a-time entry
+// point.
+func (pl *Plan) eval(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver, counts []opCard) (Seq, error) {
+	c := pl.newEvalContext(ctx, d, vars, r, counts)
+	if debugNaiveSteps {
+		return pl.q.body.eval(c)
+	}
+	return pEval(pl.prog, c)
+}
+
+func (pl *Plan) newEvalContext(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver, counts []opCard) *context {
+	st := &evalState{doc: d, resolver: r, ctx: ctx}
 	if !debugNaiveSteps {
 		st.plan = pl
 		st.explain = counts
@@ -105,20 +131,121 @@ func (pl *Plan) eval(d *core.Document, vars map[string]Seq, r Resolver, counts [
 	for name, val := range vars {
 		c = c.bind(name, val)
 	}
-	return pl.q.body.eval(c)
+	return c
+}
+
+// Stream is a lazy, pull-based result iterator over one evaluation.
+// Items are produced on demand: abandoning a Stream after n items does
+// only the work those n items required (no Close is needed — cursors
+// own no resources). A Stream is single-use and not safe for concurrent
+// use.
+type Stream struct {
+	c    *context
+	cur  cursor
+	err  error
+	done bool
+	n    int
+}
+
+// Stream starts a streaming evaluation. ctx may be nil (uncancellable).
+func (pl *Plan) Stream(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver) *Stream {
+	return pl.stream(ctx, d, vars, r, nil)
+}
+
+// Stream starts a streaming evaluation through the cached plan for d.
+func (q *Query) Stream(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver) *Stream {
+	return q.PlanFor(d).Stream(ctx, d, vars, r)
+}
+
+func (pl *Plan) stream(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver, counts []opCard) *Stream {
+	c := pl.newEvalContext(ctx, d, vars, r, counts)
+	var cur cursor
+	if debugNaiveSteps {
+		body := pl.q.body
+		cur = &thunkCursor{f: func() (cursor, error) {
+			s, err := body.eval(c)
+			if err != nil {
+				return nil, err
+			}
+			return seqCur(s), nil
+		}}
+	} else {
+		cur = popen(pl.prog, c)
+	}
+	return &Stream{c: c, cur: cur}
+}
+
+// Next returns the next result item. After an error or exhaustion it
+// keeps returning (nil, false, err).
+func (s *Stream) Next() (Item, bool, error) {
+	if s.err != nil || s.done {
+		return nil, false, s.err
+	}
+	// Poll cancellation here too: producers whose next() never loops
+	// (range cursors, literal sequences) would otherwise let a
+	// top-level drain outrun the deadline.
+	if err := s.c.st.checkCancel(); err != nil {
+		s.err = err
+		return nil, false, err
+	}
+	it, ok, err := s.cur.next()
+	if err != nil {
+		s.err = err
+		return nil, false, err
+	}
+	if !ok {
+		s.done = true
+		return nil, false, nil
+	}
+	s.n++
+	return it, true, nil
+}
+
+// Count returns how many items Next has produced so far.
+func (s *Stream) Count() int { return s.n }
+
+// Take drains up to limit items (all remaining when limit <= 0).
+// Evaluation stops once the limit is produced — the upstream operators
+// do no further work.
+func (s *Stream) Take(limit int) (Seq, error) {
+	var out Seq
+	for limit <= 0 || len(out) < limit {
+		it, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, it)
+	}
+	return out, nil
 }
 
 // Explain evaluates the query against d with per-operator cardinality
 // instrumentation and returns the result together with the operator
-// tree (index-vs-scan decisions plus observed cardinalities).
+// tree (index-vs-scan decisions plus observed cardinalities) covering
+// the whole lowered query.
 func (q *Query) Explain(d *core.Document, vars map[string]Seq, r Resolver) (Seq, *ExplainOp, error) {
 	pl := q.PlanFor(d)
 	counts := make([]opCard, pl.nOps)
-	seq, err := pl.eval(d, vars, r, counts)
+	seq, err := pl.eval(nil, d, vars, r, counts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return seq, pl.render(counts), nil
+}
+
+// StreamExplain is Stream with per-operator instrumentation: the
+// returned render function may be called once the caller has pulled
+// whatever it needs, yielding the cardinalities observed so far — the
+// observable proof that a limited stream stopped the upstream operators
+// early.
+func (q *Query) StreamExplain(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver) (*Stream, func() *ExplainOp) {
+	pl := q.PlanFor(d)
+	counts := make([]opCard, pl.nOps)
+	s := pl.stream(ctx, d, vars, r, counts)
+	return s, func() *ExplainOp { return pl.render(counts) }
 }
 
 // EvalString compiles and evaluates src against d and serializes the

@@ -181,10 +181,6 @@ type pathExpr struct {
 	absolute bool
 	start    expr
 	steps    []*step
-	// id is the 1-based dense path number Compile assigns (plan.go:
-	// forEachPath order); a Plan's operator list for this path lives at
-	// Plan.paths[id-1]. 0 means unplanned (always evaluate generically).
-	id int
 }
 
 // filterExpr is a primary expression with predicates.

@@ -9,153 +9,15 @@ import (
 	"mhxquery/internal/dom"
 )
 
-// evalState is the per-evaluation mutable state. The active document
-// pointer advances to overlay documents as analyze-string materializes
-// temporary hierarchies (Definition 4); the base document is never
-// touched, so the temporaries vanish when the evaluation ends — exactly
-// the lifetime rule of Definition 4(5).
-type evalState struct {
-	doc     *core.Document
-	tempSeq int
-	// resolver backs doc() and collection(); nil outside a collection
-	// evaluation context.
-	resolver Resolver
-	// extra holds the documents pulled in by doc()/collection() during
-	// this evaluation, so axis steps on their nodes dispatch to the
-	// owning document rather than the active one.
-	extra []*core.Document
-
-	// plan is the physical plan driving this evaluation (nil under
-	// debugNaiveSteps); explain, when non-nil, collects per-operator
-	// cardinalities for EXPLAIN output.
-	plan    *Plan
-	explain []opCard
-
-	// axisBuf is the reusable axis-candidate buffer of the step pipeline
-	// (AppendAxis destination), shared across context nodes and steps —
-	// candidates are consumed into the step output before any nested
-	// evaluation can run.
-	axisBuf []*dom.Node
-	// ordSet is the reusable ordinal scatter buffer that restores
-	// document order over interleaved step results.
-	ordSet core.OrdinalSet
-}
-
-// addExtra records a document loaded by doc()/collection().
-func (st *evalState) addExtra(d *core.Document) {
-	if d == st.doc {
-		return
-	}
-	for _, e := range st.extra {
-		if e == d {
-			return
-		}
-	}
-	st.extra = append(st.extra, d)
-}
-
-// docFor returns the document that owns n: the active document, one of
-// the documents loaded via doc()/collection(), or — for constructed
-// nodes owned by no document — the active document. Matched extra
-// entries move to the front (consecutive axis steps almost always stay
-// in one document, so the scan is amortized O(1) even when
-// collection() loaded many documents).
-func (st *evalState) docFor(n *dom.Node) *core.Document {
-	if len(st.extra) == 0 || st.doc.Owns(n) {
-		return st.doc
-	}
-	for i, e := range st.extra {
-		if e.Owns(n) {
-			if i > 0 {
-				copy(st.extra[1:], st.extra[:i])
-				st.extra[0] = e
-			}
-			return e
-		}
-	}
-	return st.doc
-}
-
-// rootFor implements the XPath rule that "/" selects the root of the
-// tree containing the context item: the owning document's root for a
-// node item, the active document's root otherwise.
-func (st *evalState) rootFor(item Item) *dom.Node {
-	if n, ok := item.(*dom.Node); ok {
-		return st.docFor(n).Root
-	}
-	return st.doc.Root
-}
-
-// context is the dynamic context: context item, position/size, variable
-// bindings (an immutable linked list, so child contexts are O(1)).
-type context struct {
-	st        *evalState
-	item      Item
-	pos, size int
-	vars      *frame
-}
-
-type frame struct {
-	name string
-	val  Seq
-	next *frame
-}
-
-func (c *context) bind(name string, val Seq) *context {
-	nc := *c
-	nc.vars = &frame{name: name, val: val, next: c.vars}
-	return &nc
-}
-
-func (c *context) lookup(name string) (Seq, bool) {
-	for f := c.vars; f != nil; f = f.next {
-		if f.name == name {
-			return f.val, true
-		}
-	}
-	return nil, false
-}
-
-// stringOf is the string value of a node with the document shortcut: a
-// document-owned element's string value is a slice of the base text
-// (node.go: TextContent of a KyGODDAG node equals S[n.Start:n.End]), so
-// no tree walk and no string building. Nodes without ordinals
-// (constructed trees) fall back to TextContent.
-func (st *evalState) stringOf(n *dom.Node) string {
-	if n.Kind == dom.Element {
-		d := st.docFor(n)
-		if _, ok := d.OrdinalOf(n); ok {
-			return d.Text[n.Start:n.End]
-		}
-	}
-	return n.TextContent()
-}
-
-// atomize is the context-aware atomization: nodes become their string
-// value via the base-text shortcut, atomics pass through.
-func (c *context) atomize(it Item) Item {
-	if n, ok := it.(*dom.Node); ok {
-		return c.st.stringOf(n)
-	}
-	return it
-}
-
-// atomizeSeq atomizes every item, context-aware.
-func (c *context) atomizeSeq(s Seq) Seq {
-	out := make(Seq, len(s))
-	for i, it := range s {
-		out[i] = c.atomize(it)
-	}
-	return out
-}
-
-// stringItem is stringValue with the base-text shortcut for nodes.
-func stringItem(c *context, it Item) string {
-	if n, ok := it.(*dom.Node); ok {
-		return c.st.stringOf(n)
-	}
-	return stringValue(it)
-}
+// This file is the AST interpreter: the recursive eval methods that
+// define the semantics of every expression kind directly over the
+// syntax tree. Production evaluation runs through the cursor engine
+// (plan.go lowers the AST to physical operators, lower.go/stepcursor.go
+// execute them); the interpreter is retained as the differential oracle
+// the cursor engine is property-tested against — with debugNaiveSteps
+// set it evaluates every query with the reference step evaluator
+// (evalStepRef) and no physical plan, and the differential suites
+// require node-identical results between the two engines.
 
 // ---- leaf expressions ----------------------------------------------------
 
@@ -203,31 +65,7 @@ func (e *rangeExpr) eval(c *context) (Seq, error) {
 	if err != nil || empty {
 		return nil, err
 	}
-	if lo != math.Trunc(lo) || hi != math.Trunc(hi) {
-		return nil, errf("FORG0006", "range bounds must be integers")
-	}
-	var out Seq
-	for v := lo; v <= hi; v++ {
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-// evalNumber evaluates an operand to a single number; empty reports the
-// empty sequence (which propagates as an empty result).
-func evalNumber(c *context, e expr, what string) (f float64, empty bool, err error) {
-	v, err := e.eval(c)
-	if err != nil {
-		return 0, false, err
-	}
-	v = c.atomizeSeq(v)
-	switch len(v) {
-	case 0:
-		return 0, true, nil
-	case 1:
-		return toNumber(v[0]), false, nil
-	}
-	return 0, false, errf("XPTY0004", "%s operand is a sequence of %d items", what, len(v))
+	return rangeSeq(c, lo, hi)
 }
 
 // ---- boolean and comparison ------------------------------------------------
@@ -272,16 +110,10 @@ func (e *andExpr) eval(c *context) (Seq, error) {
 	return singletonBool(bb), err
 }
 
-func (e *cmpExpr) eval(c *context) (Seq, error) {
-	va, err := e.a.eval(c)
-	if err != nil {
-		return nil, err
-	}
-	vb, err := e.b.eval(c)
-	if err != nil {
-		return nil, err
-	}
-	switch e.kind {
+// evalCmp implements every comparison kind over two materialized
+// operands (shared with the lowered comparison operator).
+func evalCmp(c *context, op string, kind cmpKind, va, vb Seq) (Seq, error) {
+	switch kind {
 	case cmpNode:
 		if len(va) == 0 || len(vb) == 0 {
 			return Seq{}, nil
@@ -289,9 +121,9 @@ func (e *cmpExpr) eval(c *context) (Seq, error) {
 		na, aok := va[0].(*dom.Node)
 		nb, bok := vb[0].(*dom.Node)
 		if len(va) > 1 || len(vb) > 1 || !aok || !bok {
-			return nil, errf("XPTY0004", "operands of %q must be single nodes", e.op)
+			return nil, errf("XPTY0004", "operands of %q must be single nodes", op)
 		}
-		switch e.op {
+		switch op {
 		case "is":
 			return singletonBool(na == nb), nil
 		case "<<":
@@ -304,19 +136,19 @@ func (e *cmpExpr) eval(c *context) (Seq, error) {
 			return Seq{}, nil
 		}
 		if len(va) > 1 || len(vb) > 1 {
-			return nil, errf("XPTY0004", "operands of %q must be single values", e.op)
+			return nil, errf("XPTY0004", "operands of %q must be single values", op)
 		}
-		cres, ok := compareAtomic(e.op, c.atomize(va[0]), c.atomize(vb[0]))
+		cres, ok := compareAtomic(op, c.atomize(va[0]), c.atomize(vb[0]))
 		if !ok {
 			return seqFalse, nil
 		}
-		return singletonBool(applyCmp(e.op, cres)), nil
+		return singletonBool(applyCmp(op, cres)), nil
 	}
 	// General comparison: existential over both sequences.
 	for _, ia := range va {
 		for _, ib := range vb {
-			cres, ok := compareAtomic(e.op, c.atomize(ia), c.atomize(ib))
-			if ok && applyCmp(e.op, cres) {
+			cres, ok := compareAtomic(op, c.atomize(ia), c.atomize(ib))
+			if ok && applyCmp(op, cres) {
 				return seqTrue, nil
 			}
 		}
@@ -324,18 +156,24 @@ func (e *cmpExpr) eval(c *context) (Seq, error) {
 	return seqFalse, nil
 }
 
+func (e *cmpExpr) eval(c *context) (Seq, error) {
+	va, err := e.a.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := e.b.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	return evalCmp(c, e.op, e.kind, va, vb)
+}
+
 // ---- arithmetic ------------------------------------------------------------
 
-func (e *arithExpr) eval(c *context) (Seq, error) {
-	x, empty, err := evalNumber(c, e.a, "arithmetic")
-	if err != nil || empty {
-		return nil, err
-	}
-	y, empty, err := evalNumber(c, e.b, "arithmetic")
-	if err != nil || empty {
-		return nil, err
-	}
-	switch e.op {
+// evalArith applies one arithmetic operator (shared with the lowered
+// arithmetic operator).
+func evalArith(op string, x, y float64) (Seq, error) {
+	switch op {
 	case "+":
 		return singleton(x + y), nil
 	case "-":
@@ -352,7 +190,19 @@ func (e *arithExpr) eval(c *context) (Seq, error) {
 	case "mod":
 		return singleton(math.Mod(x, y)), nil
 	}
-	return nil, errf("XPST0003", "unknown arithmetic operator %q", e.op)
+	return nil, errf("XPST0003", "unknown arithmetic operator %q", op)
+}
+
+func (e *arithExpr) eval(c *context) (Seq, error) {
+	x, empty, err := evalNumber(c, e.a, "arithmetic")
+	if err != nil || empty {
+		return nil, err
+	}
+	y, empty, err := evalNumber(c, e.b, "arithmetic")
+	if err != nil || empty {
+		return nil, err
+	}
+	return evalArith(e.op, x, y)
 }
 
 func (e *unaryExpr) eval(c *context) (Seq, error) {
@@ -365,35 +215,9 @@ func (e *unaryExpr) eval(c *context) (Seq, error) {
 
 // ---- node-set operators ------------------------------------------------------
 
-func toNodes(s Seq, op string) ([]*dom.Node, error) {
-	out := make([]*dom.Node, 0, len(s))
-	for _, it := range s {
-		n, ok := it.(*dom.Node)
-		if !ok {
-			return nil, errf("XPTY0004", "operand of %q contains a non-node item", op)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-func nodesToSeq(ns []*dom.Node) Seq {
-	out := make(Seq, len(ns))
-	for i, n := range ns {
-		out[i] = n
-	}
-	return out
-}
-
-func (e *unionExpr) eval(c *context) (Seq, error) {
-	va, err := e.a.eval(c)
-	if err != nil {
-		return nil, err
-	}
-	vb, err := e.b.eval(c)
-	if err != nil {
-		return nil, err
-	}
+// evalUnion merges two node sequences in document order (shared with
+// the lowered union operator).
+func evalUnion(va, vb Seq) (Seq, error) {
 	na, err := toNodes(va, "union")
 	if err != nil {
 		return nil, err
@@ -405,11 +229,7 @@ func (e *unionExpr) eval(c *context) (Seq, error) {
 	return nodesToSeq(core.SortDoc(append(na, nb...))), nil
 }
 
-func (e *intersectExpr) eval(c *context) (Seq, error) {
-	op := "intersect"
-	if e.except {
-		op = "except"
-	}
+func (e *unionExpr) eval(c *context) (Seq, error) {
 	va, err := e.a.eval(c)
 	if err != nil {
 		return nil, err
@@ -417,6 +237,16 @@ func (e *intersectExpr) eval(c *context) (Seq, error) {
 	vb, err := e.b.eval(c)
 	if err != nil {
 		return nil, err
+	}
+	return evalUnion(va, vb)
+}
+
+// evalIntersect implements intersect/except (shared with the lowered
+// operator).
+func evalIntersect(va, vb Seq, except bool) (Seq, error) {
+	op := "intersect"
+	if except {
+		op = "except"
 	}
 	na, err := toNodes(va, op)
 	if err != nil {
@@ -432,11 +262,23 @@ func (e *intersectExpr) eval(c *context) (Seq, error) {
 	}
 	var out []*dom.Node
 	for _, n := range na {
-		if inB[n] != e.except {
+		if inB[n] != except {
 			out = append(out, n)
 		}
 	}
 	return nodesToSeq(core.SortDoc(out)), nil
+}
+
+func (e *intersectExpr) eval(c *context) (Seq, error) {
+	va, err := e.a.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := e.b.eval(c)
+	if err != nil {
+		return nil, err
+	}
+	return evalIntersect(va, vb, e.except)
 }
 
 // ---- control flow -------------------------------------------------------------
@@ -550,24 +392,6 @@ func (f *flworExpr) eval(c *context) (Seq, error) {
 	return out, nil
 }
 
-func compareOrderKeys(o orderSpec, a, b Seq) (int, bool) {
-	ae, be := len(a) == 0, len(b) == 0
-	if ae || be {
-		if ae && be {
-			return 0, true
-		}
-		least := -1
-		if o.emptyGreatest {
-			least = 1
-		}
-		if ae {
-			return least, true
-		}
-		return -least, true
-	}
-	return compareForOrder(a[0], b[0])
-}
-
 func (f *flworExpr) run(c *context, idx int, emit func(*context) error) error {
 	if idx == len(f.clauses) {
 		return emit(c)
@@ -630,79 +454,6 @@ func (e *callExpr) eval(c *context) (Seq, error) {
 
 // ---- filters and paths --------------------------------------------------------------
 
-// constNumPred recognizes a predicate that is a bare numeric literal.
-// Such a predicate selects at most one item by position, so the per-item
-// evaluation loop can be short-circuited entirely — in particular an
-// out-of-range [7] no longer evaluates anything per item.
-func constNumPred(pr expr) (float64, bool) {
-	if lit, ok := pr.(*literalExpr); ok {
-		f, ok := lit.v.(float64)
-		return f, ok
-	}
-	return 0, false
-}
-
-// selectByConstPos applies a constant numeric predicate: the item at
-// position f when f is an integral in-range position, nothing otherwise
-// (the "keep iff position == f" rule evaluated once).
-func selectByConstPos(items Seq, f float64) Seq {
-	idx := int(f)
-	if float64(idx) != f || idx < 1 || idx > len(items) {
-		return items[:0]
-	}
-	items[0] = items[idx-1]
-	return items[:1]
-}
-
-// applyPredicates filters items by each predicate in turn; a predicate
-// evaluating to a single number selects by position, anything else by
-// effective boolean value. The input sequence is left untouched (the
-// filtering itself is delegated to the in-place variant on a copy).
-func applyPredicates(c *context, items Seq, preds []expr) (Seq, error) {
-	if len(preds) == 0 {
-		return items, nil
-	}
-	return applyPredicatesInPlace(c, append(Seq(nil), items...), preds)
-}
-
-// applyPredicatesInPlace is applyPredicates compacting into the items
-// slice itself (callers own the storage), so the step pipeline filters
-// without a per-context-node allocation.
-func applyPredicatesInPlace(c *context, items Seq, preds []expr) (Seq, error) {
-	for _, pr := range preds {
-		if f, ok := constNumPred(pr); ok {
-			items = selectByConstPos(items, f)
-			continue
-		}
-		size := len(items)
-		w := 0
-		c2 := *c // one scratch context per predicate, mutated per item
-		for i, it := range items {
-			c2.item, c2.pos, c2.size = it, i+1, size
-			v, err := pr.eval(&c2)
-			if err != nil {
-				return nil, err
-			}
-			keep := false
-			if len(v) == 1 {
-				if f, ok := v[0].(float64); ok {
-					keep = float64(i+1) == f
-				} else if keep, err = ebv(v); err != nil {
-					return nil, err
-				}
-			} else if keep, err = ebv(v); err != nil {
-				return nil, err
-			}
-			if keep {
-				items[w] = it
-				w++
-			}
-		}
-		items = items[:w]
-	}
-	return items, nil
-}
-
 func (e *filterExpr) eval(c *context) (Seq, error) {
 	v, err := e.base.eval(c)
 	if err != nil {
@@ -711,33 +462,7 @@ func (e *filterExpr) eval(c *context) (Seq, error) {
 	return applyPredicates(c, v, e.preds)
 }
 
-func sortDedupe(items Seq) Seq {
-	ns := make([]*dom.Node, len(items))
-	for i, it := range items {
-		ns[i] = it.(*dom.Node)
-	}
-	return nodesToSeq(core.SortDoc(ns))
-}
-
-func allNodes(items Seq) bool {
-	for _, it := range items {
-		if _, ok := it.(*dom.Node); !ok {
-			return false
-		}
-	}
-	return true
-}
-
 func (p *pathExpr) eval(c *context) (Seq, error) {
-	// Plan-driven evaluation: the physical operator list lowered for
-	// this path (index scans, chain scans, pipeline steps). The generic
-	// body below remains as the unplanned fallback and as the
-	// debugNaiveSteps oracle route.
-	if st := c.st; st.plan != nil && !debugNaiveSteps && p.id > 0 && p.id <= len(st.plan.paths) {
-		if pp := st.plan.paths[p.id-1]; pp != nil {
-			return pp.eval(c)
-		}
-	}
 	var cur Seq
 	switch {
 	case p.start != nil:
@@ -771,32 +496,11 @@ func (p *pathExpr) eval(c *context) (Seq, error) {
 	return cur, nil
 }
 
-// evalPrimStep evaluates a primary-expression step ("$x/string(.)") once
-// per input item.
-func evalPrimStep(c *context, cur Seq, s *step, last bool) (Seq, error) {
-	var out Seq
-	size := len(cur)
-	c2 := *c // one scratch context, mutated per item
-	for i, it := range cur {
-		c2.item, c2.pos, c2.size = it, i+1, size
-		v, err := s.prim.eval(&c2)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v...)
-	}
-	if allNodes(out) {
-		out = sortDedupe(out)
-	} else if !last {
-		return nil, errf("XPTY0019", "intermediate path step yields atomic values")
-	}
-	return out, nil
-}
-
 // evalStepRef is the reference axis-step evaluator: filter every
 // candidate with matchTest, apply predicates, and restore document order
 // with a full comparison sort after the step. It is the semantic oracle
-// the pipeline (evalStep) is differential-tested against.
+// the pipeline (evalStep) and the streaming step cursors are
+// differential-tested against.
 func evalStepRef(c *context, cur Seq, s *step) (Seq, error) {
 	var out Seq
 	for _, it := range cur {
@@ -901,13 +605,16 @@ func hierOK(c *context, n *dom.Node, hiers []string) (bool, error) {
 
 // ---- constructors ---------------------------------------------------------------------
 
-func (e *elemExpr) eval(c *context) (Seq, error) {
-	el := dom.NewElement(e.name)
-	for _, a := range e.attrs {
+// buildElement constructs a direct element: attribute value templates,
+// then content items (shared with the lowered constructor operator —
+// the attrs/content expressions may be AST or lowered nodes).
+func buildElement(c *context, name string, attrs []attrTpl, content []expr) (Seq, error) {
+	el := dom.NewElement(name)
+	for _, a := range attrs {
 		var b strings.Builder
 		for _, part := range a.parts {
-			if rt, ok := part.(*rawTextExpr); ok {
-				b.WriteString(rt.s)
+			if rt, ok := rawText(part); ok {
+				b.WriteString(rt)
 				continue
 			}
 			v, err := part.eval(c)
@@ -923,9 +630,9 @@ func (e *elemExpr) eval(c *context) (Seq, error) {
 		}
 		el.SetAttr(a.name, b.String())
 	}
-	for _, ce := range e.content {
-		if rt, ok := ce.(*rawTextExpr); ok {
-			addTextTo(el, rt.s)
+	for _, ce := range content {
+		if rt, ok := rawText(ce); ok {
+			addTextTo(el, rt)
 			continue
 		}
 		v, err := ce.eval(c)
@@ -937,78 +644,30 @@ func (e *elemExpr) eval(c *context) (Seq, error) {
 	return singleton(el), nil
 }
 
-// addTextTo appends character data to el, merging with a trailing text
-// node.
-func addTextTo(el *dom.Node, s string) {
-	if s == "" {
-		return
+// rawText recognizes literal character data inside a constructor, in
+// AST or lowered form.
+func rawText(e expr) (string, bool) {
+	switch rt := e.(type) {
+	case *rawTextExpr:
+		return rt.s, true
+	case *pRawText:
+		return rt.s, true
 	}
-	if k := len(el.Children); k > 0 && el.Children[k-1].Kind == dom.Text {
-		el.Children[k-1].Data += s
-		return
-	}
-	el.AppendChild(dom.NewText(s))
+	return "", false
 }
 
-// appendContent adds the items of one enclosed expression to a
-// constructed element per the XQuery rules: attribute nodes become
-// attributes, text and leaf nodes merge into character data, other nodes
-// are deep-copied, and adjacent atomic values are joined with single
-// spaces.
-func appendContent(el *dom.Node, v Seq) {
-	prevAtomic := false
-	for _, it := range v {
-		if n, ok := it.(*dom.Node); ok {
-			switch n.Kind {
-			case dom.Attribute:
-				el.SetAttr(n.Name, n.Data)
-			case dom.Text, dom.Leaf:
-				addTextTo(el, n.Data)
-			default:
-				el.AppendChild(n.Clone())
-			}
-			prevAtomic = false
-			continue
-		}
-		if prevAtomic {
-			addTextTo(el, " ")
-		}
-		addTextTo(el, stringValue(it))
-		prevAtomic = true
-	}
+func (e *elemExpr) eval(c *context) (Seq, error) {
+	return buildElement(c, e.name, e.attrs, e.content)
 }
 
-// validXMLName reports whether s is a well-formed XML name.
-func validXMLName(s string) bool {
-	name, end, ok := scanXMLName(s, 0)
-	return ok && end == len(s) && name == s
-}
-
-func (e *compCtorExpr) eval(c *context) (Seq, error) {
-	name := e.name
-	if e.nameExpr != nil {
-		v, err := e.nameExpr.eval(c)
-		if err != nil {
-			return nil, err
-		}
-		v = c.atomizeSeq(v)
-		if len(v) != 1 {
-			return nil, errf("XPTY0004", "computed constructor name must be a single value")
-		}
-		name = stringValue(v[0])
-	}
-	if (e.kind == 'e' || e.kind == 'a') && !validXMLName(name) {
+// buildComputed constructs a computed element/attribute/text/comment
+// node from an already-resolved name and content (shared with the
+// lowered constructor operator).
+func buildComputed(kind byte, name string, content Seq) (Seq, error) {
+	if (kind == 'e' || kind == 'a') && !validXMLName(name) {
 		return nil, errf("XQDY0074", "computed constructor: invalid name %q", name)
 	}
-	var content Seq
-	if e.content != nil {
-		v, err := e.content.eval(c)
-		if err != nil {
-			return nil, err
-		}
-		content = v
-	}
-	switch e.kind {
+	switch kind {
 	case 'e':
 		el := dom.NewElement(name)
 		appendContent(el, content)
@@ -1021,15 +680,34 @@ func (e *compCtorExpr) eval(c *context) (Seq, error) {
 	return singleton(&dom.Node{Kind: dom.Comment, Data: joinAtomics(content)}), nil
 }
 
-// joinAtomics renders a sequence as the space-joined string values of
-// its atomized items.
-func joinAtomics(v Seq) string {
-	var b strings.Builder
-	for i, it := range v {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		b.WriteString(stringValue(atomize(it)))
+// resolveCtorName evaluates a computed constructor's name expression.
+func resolveCtorName(c *context, name string, nameExpr expr) (string, error) {
+	if nameExpr == nil {
+		return name, nil
 	}
-	return b.String()
+	v, err := nameExpr.eval(c)
+	if err != nil {
+		return "", err
+	}
+	v = c.atomizeSeq(v)
+	if len(v) != 1 {
+		return "", errf("XPTY0004", "computed constructor name must be a single value")
+	}
+	return stringValue(v[0]), nil
+}
+
+func (e *compCtorExpr) eval(c *context) (Seq, error) {
+	name, err := resolveCtorName(c, e.name, e.nameExpr)
+	if err != nil {
+		return nil, err
+	}
+	var content Seq
+	if e.content != nil {
+		v, err := e.content.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		content = v
+	}
+	return buildComputed(e.kind, name, content)
 }

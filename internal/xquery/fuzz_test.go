@@ -1,0 +1,34 @@
+package xquery
+
+import (
+	"testing"
+
+	"mhxquery/internal/corpus"
+)
+
+// fuzzDoc is the document plans are lowered against during fuzzing.
+var fuzzDoc = corpus.MustBoethius()
+
+// FuzzParse fuzzes the lexer/parser/lowering front end: Compile must
+// never panic, whatever the input. (Evaluation is deliberately out of
+// scope — arbitrary queries can be made unboundedly expensive, e.g.
+// huge ranges; the differential sweeps cover evaluation.) CI runs this
+// as a non-gating smoke: go test -fuzz=FuzzParse -fuzztime=30s.
+func FuzzParse(f *testing.F) {
+	for _, seed := range diffQueries {
+		f.Add(seed)
+	}
+	f.Add(`for $x at $p in //w order by string($x) descending return <a b="{$x}">{$x, 1 to 3}</a>`)
+	f.Add(`some $x in /a satisfies every $y in $x satisfies $y eq $x`)
+	f.Add(`element {concat("a","b")} {attribute c {1}, comment {"d"}}`)
+	f.Add(`/descendant::w('физ,damage')[position() <= 2]/xancestor::node()`)
+	f.Add("`\x00\xff<")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Compile(src)
+		if err != nil {
+			return
+		}
+		// Lowering must also be total for everything that parses.
+		_ = q.PlanFor(fuzzDoc).Describe()
+	})
+}

@@ -215,12 +215,15 @@ func evalStep(c *context, cur Seq, s *step) (Seq, error) {
 			rt.init(d, s)
 		}
 		// Axis candidates: a shared view of the document's internal
-		// arrays when one exists, else the reusable evalState buffer
-		// (sized once to the document's node count).
+		// arrays when one exists, else the reusable evalState buffer.
 		nodes, shared := d.SharedAxis(s.axis, n)
 		if !shared {
 			if cap(st.axisBuf) == 0 {
-				st.axisBuf = make([]*dom.Node, 0, d.OrdinalSpace())
+				// Start modestly and let append grow: descendant name
+				// steps run as index scans now, so most axis fans are
+				// small and a full OrdinalSpace buffer per evaluation
+				// would dominate short queries.
+				st.axisBuf = make([]*dom.Node, 0, min(d.OrdinalSpace(), 512))
 			}
 			st.axisBuf = d.AppendAxis(st.axisBuf[:0], s.axis, n)
 			nodes = st.axisBuf

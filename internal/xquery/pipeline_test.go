@@ -94,8 +94,11 @@ func diffDocs(t *testing.T) map[string]*core.Document {
 	return docs
 }
 
-// evalBoth evaluates src against d with the pipeline and the reference
-// evaluator, returning both results (and their errors).
+// evalBoth evaluates src against d with the cursor engine and the
+// reference evaluator, returning both results (and their errors). The
+// cursor engine is exercised over BOTH of its routes — the strict eval
+// entry point and a full drain of the streaming entry point — and the
+// two must agree exactly before either is compared to the reference.
 func evalBoth(t *testing.T, d *core.Document, src string) (fast, ref Seq, fastErr, refErr error) {
 	t.Helper()
 	q, err := Compile(src)
@@ -103,10 +106,33 @@ func evalBoth(t *testing.T, d *core.Document, src string) (fast, ref Seq, fastEr
 		t.Fatalf("compile %q: %v", src, err)
 	}
 	fast, fastErr = q.Eval(d)
+	streamed, streamErr := drainStream(q.Stream(nil, d, nil, nil))
+	if (fastErr == nil) != (streamErr == nil) {
+		t.Errorf("%q: eval err=%v, stream err=%v", src, fastErr, streamErr)
+	} else if fastErr == nil && !sameItems(fast, streamed) &&
+		Serialize(fast) != Serialize(streamed) { // constructors build fresh nodes per run
+		t.Errorf("%q: eval and stream disagree:\n  eval:   %s\n  stream: %s",
+			src, Serialize(fast), Serialize(streamed))
+	}
 	debugNaiveSteps = true
 	defer func() { debugNaiveSteps = false }()
 	ref, refErr = q.Eval(d)
 	return
+}
+
+// drainStream materializes a Stream (test helper).
+func drainStream(s *Stream) (Seq, error) {
+	var out Seq
+	for {
+		it, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, it)
+	}
 }
 
 func sameItems(a, b Seq) bool {

@@ -10,12 +10,17 @@ import (
 )
 
 // This file is the compile→plan→execute layer. Compile parses a query
-// into an AST once; PlanFor lowers every path expression of that AST
-// into explicit physical operators for one document hierarchy layout
-// (core.Document.Signature), binding node tests to interned name
-// symbols and hierarchy indices at plan time instead of per (step,
-// document) during evaluation. Three physical operators exist beyond
-// the generic pipeline step:
+// into an AST once; PlanFor lowers the ENTIRE AST — every expression
+// kind, not just paths — into physical operators (pnode, lower.go) for
+// one document hierarchy layout (core.Document.Signature), binding node
+// tests to interned name symbols and hierarchy indices at plan time.
+// Execution is cursor-based (stepcursor.go): results stream from
+// name-index runs and axis steps through predicates, FLWOR bindings and
+// aggregation, so early-exit consumers stop the pipeline after the
+// items they need.
+//
+// Within a path, three physical operators exist beyond the generic
+// pipeline step:
 //
 //   - index-scan: descendant::name and descendant-or-self::name steps
 //     (including the //name abbreviation, whose descendant-or-self::
@@ -29,7 +34,7 @@ import (
 //     each candidate's ancestor chain upward to the shared root —
 //     O(matches · chain length) instead of a level-by-level walk.
 //   - axis-step: everything else runs through the order-aware pipeline
-//     (evalStep), unchanged.
+//     (evalStep), streamed per context segment for the downward axes.
 //
 // Plans are immutable and shared: all mutable evaluation state lives in
 // evalState, and per-document bindings are revalidated by document
@@ -37,7 +42,7 @@ import (
 // correctly against any other (overlay documents created by
 // analyze-string included) — it is merely fastest on the layout it was
 // planned for. Explain runs a plan with per-operator cardinality
-// counters and renders the operator tree.
+// counters and renders the full operator tree.
 
 // ---- plan structure --------------------------------------------------------
 
@@ -45,12 +50,16 @@ import (
 // hierarchy signature. A Plan is immutable and safe for concurrent
 // evaluation.
 type Plan struct {
-	q     *Query
-	doc   *core.Document
-	sig   string
-	paths []*pathPlan // indexed by pathExpr.id-1
-	nOps  int
-	root  *explainNode
+	q    *Query
+	doc  *core.Document
+	sig  string
+	prog pnode
+	nOps int
+	root *explainNode
+	// strictOnly forces materialized (interpreter-order) evaluation:
+	// set for queries containing analyze-string, whose overlay side
+	// effects make deferred evaluation observable (lower.go).
+	strictOnly bool
 }
 
 // Query returns the compiled query this plan lowers.
@@ -60,12 +69,6 @@ func (pl *Plan) Query() *Query { return pl.q }
 // for.
 func (pl *Plan) Signature() string { return pl.sig }
 
-// pathPlan is the operator list of one path expression.
-type pathPlan struct {
-	p   *pathExpr
-	ops []*pathOp
-}
-
 // Operator kinds.
 const (
 	opAxisStep  = iota // generic pipeline step (evalStep)
@@ -74,12 +77,16 @@ const (
 	opPrimStep         // primary-expression step (evalPrimStep)
 )
 
-// pathOp is one physical operator of a path plan.
+// pathOp is one physical operator of a path plan. Its step is a plan
+// copy of the AST step whose predicates and primary expression are
+// themselves lowered pnodes, so predicate evaluation inside the
+// operator runs through the physical engine too.
 type pathOp struct {
-	kind int
-	s    *step   // axis/index/primary operator: the underlying step
-	chn  []*step // chain-scan: the consumed child:: steps
-	id   int     // cardinality counter slot
+	kind     int
+	s        *step   // axis/index/primary operator: the lowered step
+	chn      []*step // chain-scan: the consumed child:: steps
+	id       int     // cardinality counter slot
+	primLast bool    // primary step: last op of its path
 
 	// Plan-time bindings for the planned document; revalidated by
 	// document pointer at run time.
@@ -162,12 +169,13 @@ type planner struct {
 	pl *Plan
 }
 
-// newPlan lowers q's path expressions against d's hierarchy layout.
+// newPlan lowers q's whole expression tree against d's hierarchy
+// layout.
 func newPlan(q *Query, d *core.Document) *Plan {
-	pl := &Plan{q: q, doc: d, sig: d.Signature(), paths: make([]*pathPlan, q.nPaths)}
+	pl := &Plan{q: q, doc: d, sig: d.Signature(), strictOnly: q.strictOnly}
 	pn := &planner{pl: pl}
 	root := &explainNode{op: "query", id: -1}
-	pn.walk(q.body, root)
+	pl.prog = pn.lower(q.body, root)
 	pl.root = root
 	return pl
 }
@@ -178,15 +186,186 @@ func (pn *planner) newOpID() int {
 	return id
 }
 
-func (pn *planner) walk(e expr, parent *explainNode) {
-	if e == nil {
-		return
+// enode creates an explain-tree node under parent and the pbase that
+// ties a pnode to its cardinality slot.
+func (pn *planner) enode(parent *explainNode, op, detail string) (*explainNode, pbase) {
+	id := pn.newOpID()
+	en := &explainNode{op: op, detail: detail, id: id}
+	parent.kids = append(parent.kids, en)
+	return en, pbase{id: id}
+}
+
+// group creates a structural explain node (no cardinality slot of its
+// own) under parent.
+func (pn *planner) group(parent *explainNode, op, detail string) *explainNode {
+	en := &explainNode{op: op, detail: detail, id: -1}
+	parent.kids = append(parent.kids, en)
+	return en
+}
+
+// lower translates one AST expression into its physical operator,
+// recording the operator (and its lowered children) in the explain
+// tree.
+func (pn *planner) lower(e expr, parent *explainNode) pnode {
+	switch x := e.(type) {
+	case *literalExpr:
+		_, pb := pn.enode(parent, "literal", describeLiteral(x.v))
+		return &pLiteral{pbase: pb, v: x.v, seq: x.seq}
+	case *rawTextExpr:
+		return &pRawText{pbase: pbase{id: -1}, s: x.s}
+	case *varExpr:
+		_, pb := pn.enode(parent, "var", "$"+x.name)
+		return &pVar{pbase: pb, name: x.name}
+	case *contextItemExpr:
+		_, pb := pn.enode(parent, "context-item", ".")
+		return &pContextItem{pbase: pb}
+	case *rootExpr:
+		_, pb := pn.enode(parent, "root", "/")
+		return &pRoot{pbase: pb}
+	case *seqExpr:
+		en, pb := pn.enode(parent, "sequence", "")
+		items := make([]pnode, len(x.items))
+		for i, it := range x.items {
+			items[i] = pn.lower(it, en)
+		}
+		return &pSeq{pbase: pb, items: items}
+	case *rangeExpr:
+		en, pb := pn.enode(parent, "range", "to")
+		return &pRange{pbase: pb, lo: pn.lower(x.lo, en), hi: pn.lower(x.hi, en)}
+	case *orExpr:
+		en, pb := pn.enode(parent, "or", "")
+		return &pOr{pbase: pb, a: pn.lower(x.a, en), b: pn.lower(x.b, en)}
+	case *andExpr:
+		en, pb := pn.enode(parent, "and", "")
+		return &pAnd{pbase: pb, a: pn.lower(x.a, en), b: pn.lower(x.b, en)}
+	case *cmpExpr:
+		en, pb := pn.enode(parent, "compare", x.op)
+		return &pCmp{pbase: pb, op: x.op, kind: x.kind, a: pn.lower(x.a, en), b: pn.lower(x.b, en)}
+	case *arithExpr:
+		en, pb := pn.enode(parent, "arith", x.op)
+		return &pArith{pbase: pb, op: x.op, a: pn.lower(x.a, en), b: pn.lower(x.b, en)}
+	case *unaryExpr:
+		en, pb := pn.enode(parent, "unary", "-")
+		return &pUnary{pbase: pb, x: pn.lower(x.x, en)}
+	case *unionExpr:
+		en, pb := pn.enode(parent, "union", "|")
+		return &pUnion{pbase: pb, a: pn.lower(x.a, en), b: pn.lower(x.b, en)}
+	case *intersectExpr:
+		op := "intersect"
+		if x.except {
+			op = "except"
+		}
+		en, pb := pn.enode(parent, op, "")
+		return &pIntersect{pbase: pb, except: x.except, a: pn.lower(x.a, en), b: pn.lower(x.b, en)}
+	case *ifExpr:
+		en, pb := pn.enode(parent, "if", "")
+		return &pIf{
+			pbase: pb,
+			cond:  pn.lower(x.cond, pn.group(en, "condition", "")),
+			then:  pn.lower(x.then, pn.group(en, "then", "")),
+			els:   pn.lower(x.els, pn.group(en, "else", "")),
+		}
+	case *quantExpr:
+		kw := "some"
+		if x.every {
+			kw = "every"
+		}
+		en, pb := pn.enode(parent, "quantified", kw+" $"+strings.Join(x.names, ", $"))
+		q := &pQuant{pbase: pb, every: x.every, names: x.names}
+		for _, s := range x.srcs {
+			q.srcs = append(q.srcs, pn.lower(s, en))
+		}
+		q.sat = pn.lower(x.sat, pn.group(en, "satisfies", ""))
+		return q
+	case *flworExpr:
+		return pn.lowerFLWOR(x, parent)
+	case *callExpr:
+		en, pb := pn.enode(parent, "call", x.name+"()")
+		call := &pCall{pbase: pb, name: x.name, fn: x.fn}
+		for _, a := range x.args {
+			call.args = append(call.args, pn.lower(a, en))
+		}
+		return call
+	case *filterExpr:
+		en, pb := pn.enode(parent, "filter", strings.Repeat("[…]", len(x.preds)))
+		f := &pFilter{pbase: pb, base: pn.lower(x.base, en)}
+		for _, pr := range x.preds {
+			f.preds = append(f.preds, pn.lower(pr, pn.group(en, "predicate", "")))
+			f.sized = append(f.sized, usesLast(pr))
+		}
+		return f
+	case *pathExpr:
+		return pn.lowerPath(x, parent)
+	case *elemExpr:
+		en, pb := pn.enode(parent, "element", "<"+x.name+">")
+		pe := &pElem{pbase: pb, name: x.name}
+		for _, a := range x.attrs {
+			tpl := attrTpl{name: a.name}
+			for _, part := range a.parts {
+				tpl.parts = append(tpl.parts, pn.lower(part, en))
+			}
+			pe.attrs = append(pe.attrs, tpl)
+		}
+		for _, ce := range x.content {
+			pe.content = append(pe.content, pn.lower(ce, en))
+		}
+		return pe
+	case *compCtorExpr:
+		en, pb := pn.enode(parent, "constructor", string(x.kind)+" "+x.name)
+		cc := &pCompCtor{pbase: pb, kind: x.kind, name: x.name}
+		if x.nameExpr != nil {
+			cc.nameExpr = pn.lower(x.nameExpr, en)
+		}
+		if x.content != nil {
+			cc.content = pn.lower(x.content, en)
+		}
+		return cc
 	}
-	if p, ok := e.(*pathExpr); ok {
-		pn.planPath(p, parent)
-		return
+	// Unreachable: the parser produces only the kinds above. A literal
+	// empty sequence keeps the engine total.
+	_, pb := pn.enode(parent, "unknown", "")
+	return &pLiteral{pbase: pb, seq: Seq{}}
+}
+
+func (pn *planner) lowerFLWOR(x *flworExpr, parent *explainNode) pnode {
+	en, pb := pn.enode(parent, "flwor", "")
+	f := &pFLWOR{pbase: pb}
+	for _, cl := range x.clauses {
+		var g *explainNode
+		switch cl.kind {
+		case clauseFor:
+			detail := "$" + cl.name
+			if cl.posName != "" {
+				detail += " at $" + cl.posName
+			}
+			g = pn.group(en, "for", detail)
+		case clauseLet:
+			g = pn.group(en, "let", "$"+cl.name)
+		default:
+			g = pn.group(en, "where", "")
+		}
+		f.clauses = append(f.clauses, pClause{
+			kind:    cl.kind,
+			name:    cl.name,
+			posName: cl.posName,
+			src:     pn.lower(cl.src, g),
+		})
 	}
-	visitChildren(e, func(ch expr) { pn.walk(ch, parent) })
+	for _, o := range x.order {
+		detail := "ascending"
+		if o.descending {
+			detail = "descending"
+		}
+		g := pn.group(en, "order-by", detail)
+		f.order = append(f.order, pOrderSpec{
+			key:           pn.lower(o.key, g),
+			descending:    o.descending,
+			emptyGreatest: o.emptyGreatest,
+			spec:          orderSpec{descending: o.descending, emptyGreatest: o.emptyGreatest},
+		})
+	}
+	f.ret = pn.lower(x.ret, pn.group(en, "return", ""))
+	return f
 }
 
 // indexableStep reports whether the step can run as an index scan: a
@@ -212,13 +391,100 @@ func fusibleDOS(s *step) bool {
 		s.test.kind == testNode && len(s.test.hiers) == 0 && len(s.preds) == 0
 }
 
-func (pn *planner) planPath(p *pathExpr, parent *explainNode) {
-	if p.start != nil {
-		pn.walk(p.start, parent)
+// fusablePreds reports whether a child::name step's predicates survive
+// the //name fusion: descendant-or-self::node()/child::name[p] equals
+// descendant::name[p] only when p is position-independent — predicate
+// positions are per parent before fusion and per subtree after. A
+// predicate is fusable when it cannot select by position: it never
+// evaluates to a single number (predNeverNumeric) and never consults
+// position()/last() in the step's own focus (usesFocusPosition).
+func fusablePreds(preds []expr) bool {
+	for _, pr := range preds {
+		if !predNeverNumeric(pr) || usesFocusPosition(pr) {
+			return false
+		}
 	}
-	node := &explainNode{op: "path", detail: describePath(p), id: -1}
-	parent.kids = append(parent.kids, node)
-	pp := &pathPlan{p: p}
+	return true
+}
+
+// predNeverNumeric reports (conservatively) that the predicate's value
+// can never be a single number: boolean connectives and comparisons,
+// quantifiers, node-valued paths and the boolean builtins.
+func predNeverNumeric(e expr) bool {
+	switch x := e.(type) {
+	case *orExpr, *andExpr, *cmpExpr, *quantExpr:
+		return true
+	case *pathExpr:
+		// A path ending in an axis step yields nodes; a trailing
+		// primary step could yield anything.
+		return len(x.steps) > 0 && x.steps[len(x.steps)-1].prim == nil
+	case *callExpr:
+		switch x.fn {
+		case bExists, bEmpty, bNot, bBoolean:
+			return true
+		}
+	}
+	return false
+}
+
+// usesFocusPosition reports whether e reads position() or last() in the
+// focus it is evaluated in. Nested step and filter predicates rebind
+// the focus, so their bodies do not count; everything else (function
+// arguments, quantifier satisfies clauses, FLWOR bodies, operands)
+// shares the outer focus.
+func usesFocusPosition(e expr) bool {
+	switch x := e.(type) {
+	case *callExpr:
+		if (x.name == "position" || x.name == "last") && len(x.args) == 0 {
+			return true
+		}
+		for _, a := range x.args {
+			if usesFocusPosition(a) {
+				return true
+			}
+		}
+		return false
+	case *pathExpr:
+		// Steps evaluate in their own focus; only the start expression
+		// sees ours.
+		return x.start != nil && usesFocusPosition(x.start)
+	case *filterExpr:
+		return usesFocusPosition(x.base)
+	case *flworExpr:
+		for _, cl := range x.clauses {
+			if usesFocusPosition(cl.src) {
+				return true
+			}
+		}
+		for _, o := range x.order {
+			if usesFocusPosition(o.key) {
+				return true
+			}
+		}
+		return usesFocusPosition(x.ret)
+	case *quantExpr:
+		for _, s := range x.srcs {
+			if usesFocusPosition(s) {
+				return true
+			}
+		}
+		return usesFocusPosition(x.sat)
+	}
+	found := false
+	visitChildren(e, func(ch expr) {
+		if !found && usesFocusPosition(ch) {
+			found = true
+		}
+	})
+	return found
+}
+
+func (pn *planner) lowerPath(p *pathExpr, parent *explainNode) pnode {
+	node, pb := pn.enode(parent, "path", describePath(p))
+	pp := &pPath{pbase: pb, absolute: p.absolute}
+	if p.start != nil {
+		pp.start = pn.lower(p.start, node)
+	}
 	steps := p.steps
 	i := 0
 	// A leading chain of child::name steps over an absolute path. A
@@ -241,14 +507,16 @@ func (pn *planner) planPath(p *pathExpr, parent *explainNode) {
 	for ; i < len(steps); i++ {
 		s := steps[i]
 		// Fuse the // abbreviation (descendant-or-self::node()/
-		// child::name with no predicates) into one descendant::name
-		// index scan: the two select the same node set in the same
-		// document order.
+		// child::name) into one descendant::name index scan: the two
+		// select the same node set in the same document order. The
+		// child step's predicates ride along when they are provably
+		// position-independent (positions are per parent before the
+		// fusion and per subtree after it).
 		if fusibleDOS(s) && i+1 < len(steps) {
 			next := steps[i+1]
 			if next.prim == nil && next.axis == core.AxisChild &&
-				next.test.kind == testName && len(next.preds) == 0 {
-				s = &step{axis: core.AxisDescendant, test: next.test}
+				next.test.kind == testName && fusablePreds(next.preds) {
+				s = &step{axis: core.AxisDescendant, test: next.test, preds: next.preds}
 				i++
 			}
 		}
@@ -256,29 +524,36 @@ func (pn *planner) planPath(p *pathExpr, parent *explainNode) {
 		var en *explainNode
 		switch {
 		case s.prim != nil:
-			op = &pathOp{kind: opPrimStep, s: s, id: pn.newOpID()}
+			op = &pathOp{kind: opPrimStep, id: pn.newOpID()}
 			en = &explainNode{op: "primary", detail: "expr()", id: op.id}
 			node.kids = append(node.kids, en)
-			pn.walk(s.prim, en)
+			op.s = &step{axis: s.axis, test: s.test, posSel: s.posSel, prim: pn.lower(s.prim, en)}
 			pp.ops = append(pp.ops, op)
 			continue
 		case indexableStep(s):
-			op = &pathOp{kind: opIndexScan, s: s, id: pn.newOpID()}
+			op = &pathOp{kind: opIndexScan, id: pn.newOpID()}
 			op.bind = resolveIndexBinding(pn.pl.doc, s)
 			en = &explainNode{op: "index-scan", detail: describeStep(s), index: true, id: op.id}
 		default:
-			op = &pathOp{kind: opAxisStep, s: s, id: pn.newOpID()}
+			op = &pathOp{kind: opAxisStep, id: pn.newOpID()}
 			en = &explainNode{op: "axis-step", detail: describeStep(s), id: op.id}
 		}
 		node.kids = append(node.kids, en)
+		// Plan copy of the step: the same axis/test/positional shortcut,
+		// with predicates lowered into the physical engine.
+		cs := &step{axis: s.axis, test: s.test, posSel: s.posSel}
 		for _, pr := range s.preds {
-			pn.walk(pr, en)
+			cs.preds = append(cs.preds, pn.lower(pr, en))
 		}
+		op.s = cs
 		pp.ops = append(pp.ops, op)
 	}
-	if p.id > 0 && p.id <= len(pn.pl.paths) {
-		pn.pl.paths[p.id-1] = pp
+	for oi, op := range pp.ops {
+		if op.kind == opPrimStep {
+			op.primLast = oi == len(pp.ops)-1
+		}
 	}
+	return pp
 }
 
 // visitChildren invokes visit for every direct child expression of e.
@@ -370,19 +645,7 @@ func visitChildren(e expr, visit func(expr)) {
 	}
 }
 
-// forEachPath invokes fn for every path expression in e, outermost
-// first (Compile uses it to assign dense path ids).
-func forEachPath(e expr, fn func(*pathExpr)) {
-	if e == nil {
-		return
-	}
-	if p, ok := e.(*pathExpr); ok {
-		fn(p)
-	}
-	visitChildren(e, func(ch expr) { forEachPath(ch, fn) })
-}
-
-// ---- execution -------------------------------------------------------------
+// ---- strict path execution -------------------------------------------------
 
 // opCard is one operator's observed cardinalities during an
 // instrumented (Explain) evaluation.
@@ -390,12 +653,22 @@ type opCard struct {
 	calls, in, out int64
 }
 
-func (pp *pathPlan) eval(c *context) (Seq, error) {
-	p := pp.p
+// pPath is the lowered path expression: the operator list plus the
+// lowered start expression. Strict evaluation (eval) materializes step
+// by step; streaming (open, stepcursor.go) pipelines the operators as
+// cursors.
+type pPath struct {
+	pbase
+	absolute bool
+	start    pnode
+	ops      []*pathOp
+}
+
+func (p *pPath) eval(c *context) (Seq, error) {
 	var cur Seq
 	switch {
 	case p.start != nil:
-		v, err := p.start.eval(c)
+		v, err := pEval(p.start, c)
 		if err != nil {
 			return nil, err
 		}
@@ -408,19 +681,10 @@ func (pp *pathPlan) eval(c *context) (Seq, error) {
 		}
 		cur = Seq{c.item}
 	}
-	for oi, op := range pp.ops {
+	for _, op := range p.ops {
 		in := int64(len(cur))
 		var err error
-		switch op.kind {
-		case opPrimStep:
-			cur, err = evalPrimStep(c, cur, op.s, oi == len(pp.ops)-1)
-		case opIndexScan:
-			cur, err = evalIndexScan(c, cur, op)
-		case opChainScan:
-			cur, err = evalChainScan(c, cur, op)
-		default:
-			cur, err = evalStep(c, cur, op.s)
-		}
+		cur, err = evalOpStrict(c, cur, op)
 		if err != nil {
 			return nil, err
 		}
@@ -431,6 +695,22 @@ func (pp *pathPlan) eval(c *context) (Seq, error) {
 		}
 	}
 	return cur, nil
+}
+
+// evalOpStrict evaluates one path operator over a materialized context
+// sequence (shared by strict path evaluation and the step cursors'
+// fallback route).
+func evalOpStrict(c *context, cur Seq, op *pathOp) (Seq, error) {
+	switch op.kind {
+	case opPrimStep:
+		return evalPrimStep(c, cur, op.s, op.primLast)
+	case opIndexScan:
+		return evalIndexScan(c, cur, op)
+	case opChainScan:
+		return evalChainScan(c, cur, op)
+	default:
+		return evalStep(c, cur, op.s)
+	}
 }
 
 // evalIndexScan evaluates a descendant(-or-self)::name step through the
@@ -631,16 +911,7 @@ func evalChainScan(c *context, cur Seq, op *pathOp) (Seq, error) {
 		for _, h := range d.Hiers {
 			for _, ord := range h.NameRun(last) {
 				m := h.Nodes[ord]
-				q := m.Parent
-				match := true
-				for i := len(bind.syms) - 2; i >= 0; i-- {
-					if q == nil || q == d.Root || q.Kind != dom.Element || q.NameSym != bind.syms[i] {
-						match = false
-						break
-					}
-					q = q.Parent
-				}
-				if match && q == d.Root {
+				if chainAncestorsMatch(d, m, bind.syms) {
 					out = append(out, m)
 				}
 			}
@@ -650,6 +921,20 @@ func evalChainScan(c *context, cur Seq, op *pathOp) (Seq, error) {
 		return sortDedupe(out), nil // multiple (identical) roots: restore the set property
 	}
 	return out, nil
+}
+
+// chainAncestorsMatch verifies one chain-scan candidate: its ancestor
+// names must match the chain bottom-up, ending exactly at the shared
+// root.
+func chainAncestorsMatch(d *core.Document, m *dom.Node, syms []int32) bool {
+	q := m.Parent
+	for i := len(syms) - 2; i >= 0; i-- {
+		if q == nil || q == d.Root || q.Kind != dom.Element || q.NameSym != syms[i] {
+			return false
+		}
+		q = q.Parent
+	}
+	return q == d.Root
 }
 
 func evalChainSteps(c *context, cur Seq, chain []*step) (Seq, error) {
@@ -665,10 +950,11 @@ func evalChainSteps(c *context, cur Seq, chain []*step) (Seq, error) {
 // ---- EXPLAIN ---------------------------------------------------------------
 
 // ExplainOp is one node of the operator tree Explain returns: the
-// physical operator, its rendered step, whether it is index-backed, and
-// the cardinalities observed during the instrumented evaluation (Calls
-// invocations consuming InRows context items and emitting OutRows
-// result items in total).
+// physical operator, its rendered detail, whether it is index-backed,
+// and the cardinalities observed during the instrumented evaluation
+// (Calls invocations consuming InRows context items and emitting
+// OutRows result items in total). The tree covers the whole lowered
+// query — FLWOR clauses, predicates, function calls — not only paths.
 type ExplainOp struct {
 	Op       string       `json:"op"`
 	Detail   string       `json:"detail,omitempty"`

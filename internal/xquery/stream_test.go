@@ -1,0 +1,167 @@
+package xquery
+
+import (
+	stdctx "context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mhxquery/internal/corpus"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestExplainFLWORGolden locks the full lowered operator tree of a
+// FLWOR query: EXPLAIN must render the whole query — clauses,
+// predicates, calls — not collapse non-path expressions into opaque
+// nodes.
+func TestExplainFLWORGolden(t *testing.T) {
+	q := MustCompile(`for $l in /descendant::line[xdescendant::w[string(.) = 'singallice'] or overlapping::w[string(.) = 'singallice']]
+	                  where exists($l/overlapping::w)
+	                  order by string-length(string($l)) descending
+	                  return <hit n="{count($l/xdescendant::w)}">{string($l)}</hit>`)
+	pl := q.PlanFor(corpus.MustBoethius())
+	got, err := json.MarshalIndent(pl.Describe(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "explain_flwor.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("explain tree changed (run with -update to regenerate):\n%s", got)
+	}
+	// Structural spot checks, so the golden cannot silently regress to
+	// opaque nodes.
+	var ops []string
+	var walk func(op *ExplainOp)
+	walk = func(op *ExplainOp) {
+		ops = append(ops, op.Op)
+		for _, k := range op.Children {
+			walk(k)
+		}
+	}
+	walk(pl.Describe())
+	for _, want := range []string{"flwor", "for", "where", "order-by", "return", "index-scan", "call", "compare", "element"} {
+		found := false
+		for _, op := range ops {
+			if op == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("lowered tree lacks %q operator: %v", want, ops)
+		}
+	}
+}
+
+// TestStreamLimitStopsScan is the cardinality-observing proof of
+// early exit: pulling 3 items from //w over a large document must
+// leave the index scan having produced only those 3 items, not the
+// whole run.
+func TestStreamLimitStopsScan(t *testing.T) {
+	d, err := corpus.Generate(corpus.Params{Seed: 5, Words: 600}).Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustCompile(`//w`)
+	total, err := q.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(total) < 100 {
+		t.Fatalf("fixture too small: %d words", len(total))
+	}
+
+	s, render := q.StreamExplain(nil, d, nil, nil)
+	for i := 0; i < 3; i++ {
+		if _, ok, err := s.Next(); err != nil || !ok {
+			t.Fatalf("pull %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	var scan *ExplainOp
+	var walk func(op *ExplainOp)
+	walk = func(op *ExplainOp) {
+		if op.Op == "index-scan" {
+			scan = op
+		}
+		for _, k := range op.Children {
+			walk(k)
+		}
+	}
+	walk(render())
+	if scan == nil {
+		t.Fatal("no index-scan operator in the plan")
+	}
+	if scan.OutRows != 3 {
+		t.Fatalf("index scan produced %d rows after a 3-item pull; early exit is broken (total %d)", scan.OutRows, len(total))
+	}
+	// Draining the rest must still deliver the full result.
+	rest, err := drainStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 3+len(rest) != len(total) {
+		t.Fatalf("stream delivered %d items, want %d", 3+len(rest), len(total))
+	}
+}
+
+// TestStreamCancel checks context cancellation: a runaway query stops
+// with MHXQ0002 within a bounded number of items.
+func TestStreamCancel(t *testing.T) {
+	d := corpus.MustBoethius()
+	ctx, cancel := stdctx.WithCancel(stdctx.Background())
+	cancel()
+	q := MustCompile(`count(1 to 100000000000)`)
+	_, err := q.EvalContext(ctx, d, nil, nil)
+	if err == nil {
+		t.Fatal("canceled evaluation returned no error")
+	}
+	xe, ok := err.(*Error)
+	if !ok || xe.Code != "MHXQ0002" {
+		t.Fatalf("err = %v, want MHXQ0002", err)
+	}
+
+	s := q.Stream(ctx, d, nil, nil)
+	if _, _, err := s.Next(); err == nil {
+		t.Fatal("canceled stream yielded an item")
+	}
+}
+
+// TestStreamEarlyErrorParity: a full drain of the stream must surface
+// the same error the strict evaluation does.
+func TestStreamErrorParity(t *testing.T) {
+	d := corpus.MustBoethius()
+	for _, src := range []string{
+		`/descendant::w('nope')`,
+		`//w[xdescendant::q('absent')]`,
+		`for $x in //w return $x/child::w('nope')`,
+	} {
+		q := MustCompile(src)
+		_, evalErr := q.Eval(d)
+		_, streamErr := drainStream(q.Stream(nil, d, nil, nil))
+		switch {
+		case evalErr == nil && streamErr == nil:
+		case evalErr != nil && streamErr != nil:
+			if evalErr.(*Error).Code != streamErr.(*Error).Code {
+				t.Errorf("%q: eval %v vs stream %v", src, evalErr, streamErr)
+			}
+		default:
+			t.Errorf("%q: eval err=%v, stream err=%v", src, evalErr, streamErr)
+		}
+	}
+}

@@ -22,6 +22,8 @@
 package mhxquery
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -187,6 +189,59 @@ func (d *Document) QueryString(src string) (string, error) {
 	return res.String(), nil
 }
 
+// Stream compiles src and starts a lazy, cursor-driven evaluation:
+// result items are produced on demand, so taking n items does only the
+// work those n items required (the early-exit property of the cursor
+// engine). ctx may be nil; when it is canceled the stream's Next
+// returns an error within a bounded number of items.
+func (d *Document) Stream(ctx context.Context, src string) (*Stream, error) {
+	q, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Stream(ctx, d), nil
+}
+
+// Stream is a lazy result stream. Next yields items one at a time,
+// each wrapped as a one-item Sequence (so callers render it with the
+// usual String/Text). A Stream needs no Close: abandoning it simply
+// stops the evaluation.
+type Stream struct {
+	s *xquery.Stream
+	d *core.Document
+}
+
+// Next returns the next result item as a one-item Sequence. ok is
+// false when the stream is exhausted.
+func (s *Stream) Next() (item Sequence, ok bool, err error) {
+	it, ok, err := s.s.Next()
+	if err != nil || !ok {
+		return Sequence{}, false, err
+	}
+	return Sequence{s: xquery.Seq{it}, d: s.d}, true, nil
+}
+
+// Count reports how many items Next has produced so far.
+func (s *Stream) Count() int { return s.s.Count() }
+
+// Take drains up to n items (all remaining when n <= 0) into a
+// Sequence. Evaluation stops once n items are produced — the upstream
+// operators do no further work.
+func (s *Stream) Take(n int) (Sequence, error) {
+	out, err := s.s.Take(n)
+	if err != nil {
+		return Sequence{}, err
+	}
+	return Sequence{s: out, d: s.d}, nil
+}
+
+// IsCanceled reports whether err is an evaluation stopped by its
+// context (deadline exceeded or client disconnect).
+func IsCanceled(err error) bool {
+	var xe *xquery.Error
+	return errors.As(err, &xe) && xe.Code == "MHXQ0002"
+}
+
 // Explain compiles and evaluates src with per-operator instrumentation,
 // returning the result together with the physical operator tree: which
 // steps ran as structural-index scans versus axis-step scans, and the
@@ -277,6 +332,12 @@ func (q *Query) Eval(d *Document) (Sequence, error) {
 		return Sequence{}, err
 	}
 	return Sequence{s: s, d: d.g}, nil
+}
+
+// Stream starts a lazy evaluation of the compiled query (see
+// Document.Stream). ctx may be nil.
+func (q *Query) Stream(ctx context.Context, d *Document) *Stream {
+	return &Stream{s: q.q.Stream(ctx, d.g, nil, nil), d: d.g}
 }
 
 // EvalWith evaluates the query with externally bound variables.
