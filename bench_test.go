@@ -36,6 +36,7 @@ import (
 	"mhxquery/internal/collection"
 	"mhxquery/internal/core"
 	"mhxquery/internal/corpus"
+	"mhxquery/internal/dom"
 	"mhxquery/internal/fragment"
 	"mhxquery/internal/store"
 	"mhxquery/internal/xmlparse"
@@ -511,6 +512,132 @@ func BenchmarkFLWORJoin(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// ---- P12: copy-on-write updates vs whole-document reparse ---------------------
+
+// BenchmarkUpdateSmallEdit measures a single-node edit — renaming one
+// damage-span element, the canonical annotate-a-damage-report change —
+// through the copy-on-write update engine at 1×, 10× and 100× the
+// Boethius scale, against BenchmarkUpdateReparse: the reparse+reindex
+// of the whole document that a store without in-place updates would
+// pay for the same change. The edit copies only the touched hierarchy
+// (structural sharing for the other three), patches its name index
+// incrementally, and shares the boundary array and leaf structs
+// (patching only the per-version text→leaf edge table), so its cost
+// tracks the touched hierarchy, not the document: at 100× the edit
+// must be ≥10× cheaper than the reparse. BenchmarkUpdateLargestHier
+// is the worst-case counterpart: the same edit aimed at the largest
+// hierarchy, whose node slab dominates the copy.
+func BenchmarkUpdateSmallEdit(b *testing.B) {
+	benchUpdateRename(b, "damage", "dmg")
+}
+
+// BenchmarkUpdateLargestHier renames one w element: the touched
+// hierarchy (structure) holds roughly half the document's nodes, the
+// upper bound of the copy-on-write cost for a single-node edit.
+func BenchmarkUpdateLargestHier(b *testing.B) {
+	benchUpdateRename(b, "structure", "w")
+}
+
+func benchUpdateRename(b *testing.B, hier, elem string) {
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 6}, {"10x", 60}, {"100x", 600}} {
+		c := corpus.Generate(corpus.Params{Seed: 13, Words: scale.words, DamageRate: 0.12})
+		d, err := c.Document()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm every name index: the benchmark measures the
+		// incremental-maintenance path, not lazy first builds.
+		for _, h := range d.Hiers {
+			h.IndexRuns()
+		}
+		var target *dom.Node
+		for _, n := range d.HierarchyByName(hier).Nodes {
+			if n.Kind == dom.Element && n.Name == elem {
+				target = n // last one: worst case for run patching
+			}
+		}
+		if target == nil {
+			b.Fatalf("no %s element in %s", elem, hier)
+		}
+		edits := []core.Edit{{Kind: core.EditRename, Target: target, Name: elem + "x"}}
+		b.Run(scale.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nd, _, err := d.Apply(edits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if nd.Rev != d.Rev+1 {
+					b.Fatal("no new version")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUpdateReparse is the from-scratch alternative to
+// BenchmarkUpdateSmallEdit: re-parse all four encodings and rebuild
+// the KyGODDAG (what Collection.Put of a re-encoded document costs).
+func BenchmarkUpdateReparse(b *testing.B) {
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 6}, {"10x", 60}, {"100x", 600}} {
+		c := corpus.Generate(corpus.Params{Seed: 13, Words: scale.words, DamageRate: 0.12})
+		b.Run(scale.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				trees, err := c.Trees()
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := core.Build(trees)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Reindex too: the read path depends on the name
+				// indexes the edit would have preserved.
+				for _, h := range d.Hiers {
+					h.IndexRuns()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUpdateExpression measures the full update-language path
+// (compile + target evaluation + apply) for the same single-node edit.
+func BenchmarkUpdateExpression(b *testing.B) {
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 6}, {"100x", 600}} {
+		c := corpus.Generate(corpus.Params{Seed: 13, Words: scale.words, DamageRate: 0.12})
+		d, err := c.Document()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, h := range d.Hiers {
+			h.IndexRuns()
+		}
+		b.Run(scale.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				u, err := xquery.CompileUpdate(`rename node (//w)[1] as "wx"`)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := u.Apply(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -27,7 +27,13 @@
 //	PUT    /docs/{name}  ingest {"hierarchies":[{"name":..,"xml":..,"dtd":..}]}
 //	GET    /docs/{name}  one document's stats
 //	DELETE /docs/{name}  remove a document
+//	PATCH  /docs/{name}  apply an update expression {"update":".."} — the
+//	                     document is edited copy-on-write: a new version
+//	                     is published (and persisted) while queries
+//	                     already running keep their snapshot
 //	POST   /query        {"query":.., "doc":"name" | "collection":"glob", "format":"xml"|"text"}
+//	POST   /update       {"doc":"name", "update":".."} — body-addressed
+//	                     form of PATCH /docs/{name}
 //
 // POST /query accepts two query parameters that expose the cursor
 // engine's streaming execution:
@@ -168,7 +174,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
 	mux.HandleFunc("GET /docs/{name}", s.handleGetDoc)
 	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
+	mux.HandleFunc("PATCH /docs/{name}", s.handlePatchDoc)
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /update", s.handleUpdate)
 	return mux
 }
 
@@ -337,6 +345,72 @@ func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// updateRequest is the body of PATCH /docs/{name} and POST /update.
+type updateRequest struct {
+	// Doc names the target document (POST /update only; the PATCH path
+	// takes it from the URL).
+	Doc string `json:"doc,omitempty"`
+	// Update is the update-expression source.
+	Update string `json:"update"`
+}
+
+// updateResponse reports an applied update: the new version number,
+// the copy-on-write statistics, and the updated document's info.
+type updateResponse struct {
+	Doc     string               `json:"doc"`
+	Version uint64               `json:"version"`
+	Stats   mhxquery.UpdateStats `json:"stats"`
+	Info    docInfo              `json:"info"`
+}
+
+// handlePatchDoc applies an update expression to the document named in
+// the URL: PATCH /docs/{name} {"update": "..."}.
+func (s *server) handlePatchDoc(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Doc != "" {
+		writeError(w, http.StatusBadRequest, `"doc" is taken from the URL on PATCH /docs/{name}`)
+		return
+	}
+	s.applyUpdate(w, r, r.PathValue("name"), req.Update)
+}
+
+// handleUpdate is the body-addressed form: POST /update
+// {"doc": "...", "update": "..."}.
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Doc == "" {
+		writeError(w, http.StatusBadRequest, `missing "doc"`)
+		return
+	}
+	s.applyUpdate(w, r, req.Doc, req.Update)
+}
+
+func (s *server) applyUpdate(w http.ResponseWriter, r *http.Request, name, src string) {
+	if src == "" {
+		writeError(w, http.StatusBadRequest, "empty update expression")
+		return
+	}
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	d, stats, err := s.coll.UpdateContext(ctx, name, src)
+	if err != nil {
+		writeError(w, queryStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		Doc:     name,
+		Version: d.Version(),
+		Stats:   stats,
+		Info:    s.info(name, d),
+	})
 }
 
 // queryParams are the parsed ?limit= / ?stream= / ?explain= query

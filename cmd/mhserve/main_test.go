@@ -554,3 +554,83 @@ func TestServerStreamErrorsBeforeBody(t *testing.T) {
 		t.Fatalf("unknown doc: status %d, want 404", resp.StatusCode)
 	}
 }
+
+func TestServerUpdate(t *testing.T) {
+	dir := t.TempDir()
+	coll, err := openCollection(dir, 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{coll: coll}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	countDmg := func() string {
+		var qr queryResponse
+		if code := do(t, http.MethodPost, ts.URL+"/query",
+			queryRequest{Query: `count(//dmg)`, Doc: "boethius"}, &qr); code != http.StatusOK {
+			t.Fatalf("query: status %d", code)
+		}
+		return resultOf(qr.Results[0])
+	}
+	before := countDmg()
+
+	// PATCH /docs/{name} applies an update and reports the new version.
+	var ur updateResponse
+	if code := do(t, http.MethodPatch, ts.URL+"/docs/boethius",
+		updateRequest{Update: `delete node (//dmg)[1]`}, &ur); code != http.StatusOK {
+		t.Fatalf("PATCH: status %d", code)
+	}
+	if ur.Version != 1 || ur.Stats.Edits != 1 || ur.Stats.HierarchiesCopied != 1 {
+		t.Fatalf("PATCH response = %+v", ur)
+	}
+	after := countDmg()
+	if before == after {
+		t.Fatalf("count(//dmg) unchanged: %s", after)
+	}
+
+	// POST /update is the body-addressed form.
+	ur = updateResponse{}
+	if code := do(t, http.MethodPost, ts.URL+"/update",
+		updateRequest{Doc: "boethius", Update: `rename node //dmg as "worm"`}, &ur); code != http.StatusOK {
+		t.Fatalf("POST /update: status %d", code)
+	}
+	if ur.Version != 2 {
+		t.Fatalf("version = %d, want 2", ur.Version)
+	}
+
+	// Errors: unknown doc is 404, bad expression 400, missing doc 400.
+	var er errorResponse
+	if code := do(t, http.MethodPost, ts.URL+"/update",
+		updateRequest{Doc: "nope", Update: `delete node //w`}, &er); code != http.StatusNotFound {
+		t.Fatalf("unknown doc: status %d (%+v)", code, er)
+	}
+	if code := do(t, http.MethodPatch, ts.URL+"/docs/boethius",
+		updateRequest{Update: `rename node`}, &er); code != http.StatusBadRequest {
+		t.Fatalf("bad expression: status %d", code)
+	}
+	if code := do(t, http.MethodPost, ts.URL+"/update",
+		updateRequest{Update: `delete node //w`}, &er); code != http.StatusBadRequest {
+		t.Fatalf("missing doc: status %d", code)
+	}
+
+	// Updated versions are persisted: a fresh server over the same
+	// directory sees the renamed hierarchy content.
+	ts.Close()
+	coll.Close()
+	coll2, err := openCollection(dir, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &server{coll: coll2}
+	ts2 := httptest.NewServer(s2.routes())
+	defer ts2.Close()
+	var qr queryResponse
+	if code := do(t, http.MethodPost, ts2.URL+"/query",
+		queryRequest{Query: `count(//worm)`, Doc: "boethius"}, &qr); code != http.StatusOK {
+		t.Fatalf("reopened query: status %d", code)
+	}
+	if resultOf(qr.Results[0]) != "1" {
+		t.Fatalf("reopened count(//worm) = %s", resultOf(qr.Results[0]))
+	}
+}

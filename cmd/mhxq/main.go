@@ -7,6 +7,8 @@
 //	mhxq -boethius -q 'count(/descendant::w)'
 //	mhxq -boethius -limit 1 -q '//w'
 //	mhxq -boethius -explain -q 'for $w in //w return string($w)'
+//	mhxq -boethius -update 'delete node (//dmg)[1]' -q 'count(//dmg)'
+//	mhxq -boethius -update 'insert hierarchy "marks" from analyze-string(/, "ge")/child::m'
 //
 // Each -h flag registers one markup hierarchy (name=path). All encodings
 // must share the root element name and base text. With -boethius the
@@ -17,7 +19,11 @@
 // predicates and calls included, with index-vs-scan decisions and
 // cardinalities. With -limit N the query evaluates through the
 // streaming cursor engine and stops after N result items (O(answer)
-// work, not O(document)).
+// work, not O(document)). With -update the update expression (see
+// Document.Update) is applied first — copy-on-write, producing a new
+// in-process version — and -q then queries the updated document; with
+// no -q the new version number and update statistics are printed as
+// JSON.
 package main
 
 import (
@@ -53,15 +59,16 @@ func main() {
 	boethius := flag.Bool("boethius", false, "use the built-in Figure 1 fixture")
 	explain := flag.Bool("explain", false, "print the physical plan with per-operator cardinalities as JSON")
 	limit := flag.Int("limit", 0, "stop after N result items (0 = all); evaluation is lazy and does only the work the limit needs")
+	update := flag.String("update", "", "apply an update expression before querying; without -q, print the new version and update stats as JSON")
 	flag.Parse()
 
-	if err := run(hiers, *query, *queryFile, *format, *boethius, *explain, *limit); err != nil {
+	if err := run(hiers, *query, *queryFile, *format, *boethius, *explain, *limit, *update); err != nil {
 		fmt.Fprintln(os.Stderr, "mhxq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hiers []string, query, queryFile, format string, boethius, explain bool, limit int) error {
+func run(hiers []string, query, queryFile, format string, boethius, explain bool, limit int, update string) error {
 	src := query
 	if queryFile != "" {
 		b, err := os.ReadFile(queryFile)
@@ -70,8 +77,8 @@ func run(hiers []string, query, queryFile, format string, boethius, explain bool
 		}
 		src = string(b)
 	}
-	if src == "" {
-		return fmt.Errorf("no query given (-q or -f)")
+	if src == "" && update == "" {
+		return fmt.Errorf("no query given (-q, -f or -update)")
 	}
 
 	var hs []mhxquery.Hierarchy
@@ -97,6 +104,18 @@ func run(hiers []string, query, queryFile, format string, boethius, explain bool
 	doc, err := mhxquery.Parse(hs...)
 	if err != nil {
 		return err
+	}
+	if update != "" {
+		nd, stats, err := doc.Update(update)
+		if err != nil {
+			return err
+		}
+		doc = nd
+		if src == "" {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(map[string]any{"version": doc.Version(), "stats": stats})
+		}
 	}
 	if explain {
 		res, plan, err := doc.Explain(src)

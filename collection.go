@@ -78,6 +78,25 @@ func (c *Collection) Get(name string) (*Document, bool) {
 // Delete removes the named document (and its persisted image, if any).
 func (c *Collection) Delete(name string) error { return c.c.Delete(name) }
 
+// Update applies an update expression (see Document.Update) to the
+// named document and publishes the new version in the registry,
+// writing through to the backing directory. Readers holding the old
+// version — including in-flight streams — keep their snapshot; new
+// Get/Query calls observe the new version. Updates serialize against
+// each other; reads are never blocked.
+func (c *Collection) Update(name, src string) (*Document, UpdateStats, error) {
+	return c.UpdateContext(context.Background(), name, src)
+}
+
+// UpdateContext is Update under a cancellation context.
+func (c *Collection) UpdateContext(ctx context.Context, name, src string) (*Document, UpdateStats, error) {
+	nd, rep, err := c.c.UpdateContext(ctx, name, src)
+	if err != nil {
+		return nil, UpdateStats{}, err
+	}
+	return &Document{g: nd}, updateStatsFrom(rep), nil
+}
+
 // Names returns the member document names in sorted order.
 func (c *Collection) Names() []string { return c.c.Names() }
 

@@ -1,0 +1,91 @@
+// Annotate: the read-write workflow the update engine opens — take a
+// manuscript, find every damaged word with a regular expression sweep,
+// persist the matches as a durable markup hierarchy, wrap and rename
+// editorial annotations, and re-query the result. Every step is a
+// copy-on-write version: the original document survives untouched and
+// remains queryable next to its descendants.
+//
+// Run: go run ./examples/annotate [-words 60] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mhxquery"
+	"mhxquery/internal/corpus"
+)
+
+func main() {
+	words := flag.Int("words", 60, "manuscript size in words")
+	seed := flag.Uint64("seed", 7, "generator seed")
+	flag.Parse()
+
+	c := corpus.Generate(corpus.Params{Seed: *seed, Words: *words, DamageRate: 0.12, RestoreRate: 0.15})
+	var hs []mhxquery.Hierarchy
+	for _, name := range corpus.BoethiusHierarchies() {
+		hs = append(hs, mhxquery.Hierarchy{Name: name, XML: c.XML[name]})
+	}
+	v0, err := mhxquery.Parse(hs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d: hierarchies %v\n", v0.Version(), v0.Hierarchies())
+
+	// Step 1 — persist an analyze-string overlay: every "nd"-cluster
+	// match becomes a <m> element of a new durable hierarchy "clusters".
+	// Inside a query, analyze-string hierarchies vanish when the
+	// evaluation ends (Definition 4(5)); "insert hierarchy … from" is
+	// their durable form.
+	v1, stats, err := v0.Update(`insert hierarchy "clusters" from analyze-string(/, "nd")/child::m`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d: +clusters (%d copied nodes, %d shared hierarchies)\n",
+		v1.Version(), stats.NodesCopied, stats.HierarchiesShared)
+
+	// The persisted hierarchy is a first-class citizen: extended axes
+	// relate it to every other hierarchy.
+	out, err := v1.QueryString(`count(//m[xancestor::w or overlapping::w])`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("clusters inside or overlapping words:", out)
+
+	// Step 2 — annotate: wrap the content of every damaged word in an
+	// <unclear> element of the structure hierarchy, one atomic batch.
+	v2, stats, err := v1.Update(`insert node unclear into
+	    //w[xancestor::dmg or xdescendant::dmg or overlapping::dmg]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d: wrapped %d damaged words\n", v2.Version(), stats.Edits)
+
+	// Step 3 — revise the annotation vocabulary: rename the damage
+	// spans themselves.
+	v3, _, err := v2.Update(`rename node //dmg as "damage"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Re-query the final version: unclear words per verse line.
+	report, err := v3.QueryString(`
+for $v at $n in /descendant::vline
+let $u := $v/child::w[child::unclear]
+where exists($u)
+return <vline n="{$n}" unclear="{count($u)}">{
+  for $w in $u return <u>{string($w)}</u>
+}</vline>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d report:\n%s\n", v3.Version(), report)
+
+	// Snapshot isolation: the original still answers as parsed.
+	orig, err := v0.QueryString(`count(//unclear), count(//damage), count(//dmg)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("v0 unchanged (unclear, damage, dmg):", orig)
+}

@@ -80,6 +80,12 @@ type Collection struct {
 	mu     sync.RWMutex
 	docs   map[string]*core.Document
 	closed bool
+
+	// updateMu serializes Update calls (single writer): an update reads
+	// the current version, applies the copy-on-write batch outside the
+	// registry lock, then publishes the new version through Put.
+	// Readers are never blocked — they keep their snapshot.
+	updateMu sync.Mutex
 }
 
 // New returns an empty memory-only collection.
@@ -266,6 +272,40 @@ func (c *Collection) Close() error {
 	defer c.mu.Unlock()
 	c.closed = true
 	return nil
+}
+
+// Update applies an update expression to the named document and
+// publishes the resulting new version in the registry (writing through
+// to the backing directory, like Put). The pre-update version stays
+// valid for readers that already hold it: they observe a consistent
+// pre- or post-update document, never a mix. Updates are serialized;
+// doc()/collection() inside target expressions resolve against the
+// registry epoch at the start of the update.
+func (c *Collection) Update(name, src string) (*core.Document, *xquery.UpdateReport, error) {
+	return c.UpdateContext(context.Background(), name, src)
+}
+
+// UpdateContext is Update under a cancellation context.
+func (c *Collection) UpdateContext(ctx context.Context, name, src string) (*core.Document, *xquery.UpdateReport, error) {
+	u, err := xquery.CompileUpdate(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.updateMu.Lock()
+	defer c.updateMu.Unlock()
+	v := c.view()
+	d, err := v.ResolveDoc(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("collection: %w", err)
+	}
+	nd, rep, err := u.ApplyContext(ctx, d, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := c.Put(name, nd); err != nil {
+		return nil, nil, err
+	}
+	return nd, rep, nil
 }
 
 // ---- xquery.Resolver ------------------------------------------------------

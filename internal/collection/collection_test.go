@@ -402,3 +402,70 @@ func TestPlanCacheKeyedBySignature(t *testing.T) {
 		t.Fatalf("disabled plan cache stats = %+v", st)
 	}
 }
+
+func TestUpdatePublishesNewVersion(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fill(t, c, 1)
+
+	old, _ := c.Get("doc00")
+	before, err := c.Query("doc00", `count(//dmg)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nd, rep, err := c.Update("doc00", `rename node //dmg as "worm"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Rev != 1 || rep.Ops != 1 {
+		t.Fatalf("rev=%d report=%+v", nd.Rev, rep)
+	}
+	// The registry serves the new version; the old handle still answers.
+	got, _ := c.Get("doc00")
+	if got != nd {
+		t.Fatal("registry did not publish the new version")
+	}
+	after, err := c.Query("doc00", `count(//worm)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.Serialize(after) != xquery.Serialize(before) {
+		t.Fatalf("count(//worm)=%s, want %s", xquery.Serialize(after), xquery.Serialize(before))
+	}
+	if res, err := xquery.EvalString(old, `count(//worm)`); err != nil || res != "0" {
+		t.Fatalf("old snapshot sees worm: %q %v", res, err)
+	}
+
+	// Unknown documents 404 with ErrNotFound; bad expressions fail
+	// without publishing anything.
+	if _, _, err := c.Update("nope", `delete node //w`); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown doc: %v", err)
+	}
+	if _, _, err := c.Update("doc00", `rename node //worm as "line"`); err == nil {
+		t.Fatal("vocabulary conflict must fail")
+	}
+	if got2, _ := c.Get("doc00"); got2 != nd {
+		t.Fatal("failed update must not publish")
+	}
+
+	// Write-through: a fresh collection over the directory has the
+	// updated content.
+	c.Close()
+	c2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	res, err := c2.Query("doc00", `count(//worm)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xquery.Serialize(res) != xquery.Serialize(before) {
+		t.Fatalf("reloaded count(//worm) = %s", xquery.Serialize(res))
+	}
+}

@@ -248,7 +248,7 @@ func (d *Document) parents(dst []*dom.Node, n *dom.Node) []*dom.Node {
 	case n == d.Root:
 		return dst
 	case n.Kind == dom.Leaf:
-		return append(dst, n.LeafParents...)
+		return append(dst, d.LeafParents(n)...)
 	case n.Parent != nil:
 		return append(dst, n.Parent)
 	}
@@ -262,7 +262,7 @@ func (d *Document) ancestors(dst []*dom.Node, n *dom.Node, self bool) []*dom.Nod
 	if n.Kind == dom.Leaf {
 		base := len(dst)
 		seen := map[*dom.Node]bool{}
-		for _, p := range n.LeafParents {
+		for _, p := range d.LeafParents(n) {
 			for q := p; q != nil; q = q.Parent {
 				if !seen[q] {
 					seen[q] = true

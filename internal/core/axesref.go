@@ -43,8 +43,8 @@ func (d *Document) LeafSetRef(n *dom.Node) map[*dom.Node]bool {
 
 // leavesOfTextRef collects the leaves whose stored parent edges include t.
 func (d *Document) leavesOfTextRef(t *dom.Node, set map[*dom.Node]bool) {
-	for _, l := range d.Leaves {
-		for _, p := range l.LeafParents {
+	for i, l := range d.Leaves {
+		for _, p := range d.leafPar[i] {
 			if p == t {
 				set[l] = true
 			}
@@ -125,7 +125,7 @@ func (d *Document) descendantSetRef(n *dom.Node) map[*dom.Node]bool {
 func (d *Document) ancestorSetRef(n *dom.Node) map[*dom.Node]bool {
 	set := map[*dom.Node]bool{n: true}
 	if n.Kind == dom.Leaf {
-		for _, p := range n.LeafParents {
+		for _, p := range d.LeafParents(n) {
 			for q := p; q != nil; q = q.Parent {
 				set[q] = true
 			}

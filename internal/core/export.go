@@ -77,9 +77,9 @@ func (d *Document) DOT() string {
 		fmt.Fprintf(&b, " %s;", id(l))
 	}
 	b.WriteString(" }\n")
-	for _, l := range d.Leaves {
+	for i, l := range d.Leaves {
 		fmt.Fprintf(&b, "  %s [label=%q shape=box];\n", id(l), fmt.Sprintf("%d:%s", l.Ord+1, l.Data))
-		for _, p := range l.LeafParents {
+		for _, p := range d.leafPar[i] {
 			fmt.Fprintf(&b, "  %s -> %s [style=dashed];\n", id(p), id(l))
 		}
 	}

@@ -71,8 +71,20 @@ type Document struct {
 	Leaves []*dom.Node
 	// Base points to the document this overlay was derived from, or nil.
 	Base *Document
+	// Rev is the document's update revision: 0 for a freshly built
+	// document, incremented by every Apply (update.go). It participates
+	// in Signature so plans compiled against an earlier version are
+	// never blindly reused for a mutated one.
+	Rev uint64
 
 	byName map[string]*Hierarchy
+	// leafPar is the per-version text→leaf edge table: leafPar[i] holds,
+	// for leaf i, the text node that contains it in each covering
+	// hierarchy, in hierarchy order. It lives on the Document rather
+	// than on the leaf nodes so that leaf structs — whose remaining
+	// fields are version-independent — can be shared between document
+	// versions whose partition is unchanged (update.go patchLeaves).
+	leafPar [][]*dom.Node
 	// empties lists all empty-span nodes of all hierarchies: under the
 	// literal Definition 1, leaves(m)=∅ makes them xdescendants of
 	// every node.
@@ -225,6 +237,15 @@ func (d *Document) indexHierarchy(h *Hierarchy, index int) {
 
 // partition recomputes Bounds, Leaves and the text→leaf links.
 func (d *Document) partition() {
+	d.computeBounds()
+	d.buildLeaves()
+}
+
+// computeBounds derives the boundary array from scratch: every markup
+// boundary of every hierarchy, plus 0 and len(Text). The update engine
+// (update.go) skips this pass when it can patch the previous version's
+// bounds instead.
+func (d *Document) computeBounds() {
 	set := map[int]bool{0: true, len(d.Text): true}
 	for _, h := range d.Hiers {
 		for _, n := range h.Nodes {
@@ -238,10 +259,21 @@ func (d *Document) partition() {
 	}
 	sort.Ints(bounds)
 	d.Bounds = bounds
+}
 
-	d.Leaves = make([]*dom.Node, 0, len(bounds)-1)
-	for i := 0; i+1 < len(bounds); i++ {
-		leaf := &dom.Node{
+// buildLeaves materializes the leaf layer from d.Bounds: the leaf
+// nodes, the text→leaf links (one backing array for all LeafParents
+// slices), the empty-span node list and the ordinal layout.
+func (d *Document) buildLeaves() {
+	bounds := d.Bounds
+	nLeaves := len(bounds) - 1
+	if nLeaves < 0 {
+		nLeaves = 0
+	}
+	slab := make([]dom.Node, nLeaves)
+	d.Leaves = make([]*dom.Node, nLeaves)
+	for i := 0; i < nLeaves; i++ {
+		slab[i] = dom.Node{
 			Kind:      dom.Leaf,
 			Data:      d.Text[bounds[i]:bounds[i+1]],
 			Start:     bounds[i],
@@ -250,8 +282,13 @@ func (d *Document) partition() {
 			Last:      i,
 			HierIndex: dom.LeafHier,
 		}
-		d.Leaves = append(d.Leaves, leaf)
+		d.Leaves[i] = &slab[i]
 	}
+	// Two passes over the text nodes: count the parents of each leaf,
+	// then fill one shared backing array, so the leaf layer costs two
+	// allocations instead of one per leaf.
+	counts := make([]int, nLeaves)
+	edges := 0
 	d.empties = nil
 	for _, h := range d.Hiers {
 		for _, n := range h.Nodes {
@@ -263,13 +300,51 @@ func (d *Document) partition() {
 			}
 			lo, hi := d.LeafRange(n)
 			for i := lo; i < hi; i++ {
-				d.Leaves[i].LeafParents = append(d.Leaves[i].LeafParents, n)
+				counts[i]++
+			}
+			edges += hi - lo
+		}
+	}
+	backing := make([]*dom.Node, edges)
+	d.leafPar = make([][]*dom.Node, nLeaves)
+	pos := 0
+	for i := 0; i < nLeaves; i++ {
+		d.leafPar[i] = backing[pos : pos : pos+counts[i]]
+		pos += counts[i]
+	}
+	for _, h := range d.Hiers {
+		for _, n := range h.Nodes {
+			if n.Kind != dom.Text {
+				continue
+			}
+			lo, hi := d.LeafRange(n)
+			for i := lo; i < hi; i++ {
+				d.leafPar[i] = append(d.leafPar[i], n)
 			}
 		}
 	}
 
 	d.finishLayout()
 	d.rootKids = d.RootChildren()
+}
+
+// LeafParents returns, for a leaf, the text node that contains it in
+// each covering hierarchy, in hierarchy order — the text→leaf edges of
+// the KyGODDAG, read from the owning version's table. A leaf of an
+// ancestor version (a base-document leaf encountered mid-overlay
+// evaluation) resolves through the Base chain, preserving the edges it
+// had in its own version. The returned slice is shared and must not be
+// mutated.
+func (d *Document) LeafParents(n *dom.Node) []*dom.Node {
+	if n.Kind != dom.Leaf {
+		return nil
+	}
+	for e := d; e != nil; e = e.Base {
+		if n.Ord < len(e.Leaves) && e.Leaves[n.Ord] == n {
+			return e.leafPar[n.Ord]
+		}
+	}
+	return nil
 }
 
 // finishLayout computes the ordinal layout (OrdinalOf) from the
@@ -332,6 +407,7 @@ func (d *Document) partitionFrom(base *Document, h *Hierarchy) {
 	// parent links. Unsplit, uncovered leaves share the base parent
 	// slice, which is never mutated after construction.
 	d.Leaves = make([]*dom.Node, 0, len(bounds)-1)
+	d.leafPar = make([][]*dom.Node, 0, len(bounds)-1)
 	bi := 0
 	for k := 0; k+1 < len(bounds); k++ {
 		lo, hi := bounds[k], bounds[k+1]
@@ -347,10 +423,12 @@ func (d *Document) partitionFrom(base *Document, h *Hierarchy) {
 		for bi < len(base.Leaves) && base.Leaves[bi].End <= lo {
 			bi++
 		}
+		var par []*dom.Node
 		if bi < len(base.Leaves) && base.Leaves[bi].Start <= lo && hi <= base.Leaves[bi].End {
-			leaf.LeafParents = base.Leaves[bi].LeafParents
+			par = base.leafPar[bi]
 		}
 		d.Leaves = append(d.Leaves, leaf)
+		d.leafPar = append(d.leafPar, par)
 	}
 
 	// Text nodes of the new hierarchy adopt their covered fragments
@@ -362,11 +440,10 @@ func (d *Document) partitionFrom(base *Document, h *Hierarchy) {
 		lo := sort.SearchInts(bounds, n.Start)
 		hi := sort.SearchInts(bounds, n.End)
 		for k := lo; k < hi; k++ {
-			l := d.Leaves[k]
-			np := make([]*dom.Node, len(l.LeafParents)+1)
-			copy(np, l.LeafParents)
+			np := make([]*dom.Node, len(d.leafPar[k])+1)
+			copy(np, d.leafPar[k])
 			np[len(np)-1] = n
-			l.LeafParents = np
+			d.leafPar[k] = np
 		}
 	}
 
@@ -478,6 +555,7 @@ func (d *Document) AddHierarchy(name string, top *dom.Node, temp bool) (*Documen
 		Text:   d.Text,
 		Root:   d.Root,
 		Base:   d,
+		Rev:    d.Rev,
 		byName: make(map[string]*Hierarchy, len(d.Hiers)+1),
 		names:  make(map[string]int32, len(d.names)+4),
 	}
@@ -531,8 +609,8 @@ func (d *Document) Stats() Stats {
 			}
 		}
 	}
-	for _, l := range d.Leaves {
-		s.LeafEdges += len(l.LeafParents)
+	for _, ps := range d.leafPar {
+		s.LeafEdges += len(ps)
 	}
 	return s
 }

@@ -63,7 +63,7 @@ func TestLeafParentsPerHierarchy(t *testing.T) {
 		t.Fatalf("leaf 3 = %q", leaf.Data)
 	}
 	var hiers []string
-	for _, p := range leaf.LeafParents {
+	for _, p := range d.LeafParents(leaf) {
 		if p.Kind != dom.Text {
 			t.Errorf("leaf parent kind = %v", p.Kind)
 		}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mhxquery/internal/dom"
 )
@@ -30,18 +32,64 @@ import (
 type nameIndex struct {
 	once sync.Once
 	runs map[int32][]int32
+	// built flips to true (with release semantics, inside the Once) when
+	// runs is installed, so the update engine can peek at a possibly
+	// unbuilt index without forcing a build: a not-yet-built index has
+	// nothing to maintain incrementally.
+	built atomic.Bool
 }
 
 // build fills the index from the hierarchy's preorder node list.
 func (ix *nameIndex) build(h *Hierarchy) {
+	ix.runs = rebuildRuns(h)
+	ix.built.Store(true)
+}
+
+// rebuildRuns computes the run map fresh from the node list — the
+// from-scratch path build uses, and the differential oracle the
+// incremental maintenance of update.go is tested against.
+func rebuildRuns(h *Hierarchy) map[int32][]int32 {
 	runs := make(map[int32][]int32)
 	for _, n := range h.Nodes {
 		if n.Kind == dom.Element && n.NameSym != 0 {
 			runs[n.NameSym] = append(runs[n.NameSym], int32(n.Ord))
 		}
 	}
-	ix.runs = runs
+	return runs
 }
+
+// snapshot returns the run map if the index has been built, else nil.
+// Safe to call concurrently with NameRun builds.
+func (ix *nameIndex) snapshot() map[int32][]int32 {
+	if ix.built.Load() {
+		return ix.runs
+	}
+	return nil
+}
+
+// install seeds the index with an already-computed run map (the
+// incrementally patched index of a new document version). A no-op if
+// the index was somehow built first.
+func (ix *nameIndex) install(runs map[int32][]int32) {
+	ix.once.Do(func() {
+		ix.runs = runs
+		ix.built.Store(true)
+	})
+}
+
+// IndexRuns returns the hierarchy's structural name index — interned
+// element-name symbol → ascending preorder ordinal run — building it on
+// first use. The returned map and its slices are shared and must not be
+// mutated; this is the diagnostic/verification surface of the index.
+func (h *Hierarchy) IndexRuns() map[int32][]int32 {
+	h.idx.once.Do(func() { h.idx.build(h) })
+	return h.idx.runs
+}
+
+// RebuildIndexRuns recomputes the index from scratch, ignoring any
+// built (or incrementally maintained) state — the oracle differential
+// tests compare IndexRuns against.
+func (h *Hierarchy) RebuildIndexRuns() map[int32][]int32 { return rebuildRuns(h) }
 
 // NameRun returns the ascending preorder ordinals of the hierarchy's
 // elements whose interned name symbol is sym, building the index on
@@ -72,7 +120,11 @@ func SubRun(run []int32, after, upTo int) []int32 {
 // which binds hierarchy names to indices at plan time — is keyed by
 // (query source, signature). An overlay document extends its base's
 // signature, so plans bound to the base are never blindly reused for
-// the overlay.
+// the overlay. An updated document version (update.go) appends its
+// revision, so plans compiled against an earlier version — whose
+// symbol and hierarchy bindings may hard-code "name occurs nowhere" —
+// are invalidated by the key even when the hierarchy names are
+// unchanged.
 func (d *Document) Signature() string {
 	var b strings.Builder
 	for i, h := range d.Hiers {
@@ -83,6 +135,10 @@ func (d *Document) Signature() string {
 		if h.Temp {
 			b.WriteByte('\x01')
 		}
+	}
+	if d.Rev > 0 {
+		b.WriteString("\x02r")
+		b.WriteString(strconv.FormatUint(d.Rev, 10))
 	}
 	return b.String()
 }

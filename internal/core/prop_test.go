@@ -182,7 +182,7 @@ func TestQuickPartitionInvariants(t *testing.T) {
 		}
 		for _, l := range d.Leaves {
 			seen := map[string]bool{}
-			for _, p := range l.LeafParents {
+			for _, p := range d.LeafParents(l) {
 				if p.Kind != dom.Text || seen[p.Hier] {
 					t.Logf("seed %d: bad leaf parents", seed)
 					return false
@@ -518,7 +518,7 @@ func TestQuickOverlayPartitionIncremental(t *testing.T) {
 			bounds = append(bounds, doc.Bounds...)
 			for _, l := range doc.Leaves {
 				var p strings.Builder
-				for _, q := range l.LeafParents {
+				for _, q := range doc.LeafParents(l) {
 					fmt.Fprintf(&p, "%s:%d;", q.Hier, q.Ord)
 				}
 				leaves = append(leaves, leafShape{l.Start, l.End, l.Data, p.String()})

@@ -5,7 +5,7 @@
 // A Node is deliberately a plain struct rather than an interface: the
 // engine manipulates millions of nodes in benchmarks and the flat
 // representation keeps the per-node cost at one allocation. Fields that
-// only make sense for some kinds (for example LeafParents) are documented
+// only make sense for some kinds are documented
 // per kind below.
 package dom
 
@@ -63,8 +63,10 @@ const LeafHier = 1 << 20
 //	Attribute Name, Data; Parent is the owning element; Sub orders attributes
 //	Comment   Data (round-tripped by the parser, excluded from hierarchies)
 //	ProcInst  Name (target), Data
-//	Leaf      Data (the substring of S), Start, End, Ord (= leaf index),
-//	          LeafParents (covering text node per covering hierarchy)
+//	Leaf      Data (the substring of S), Start, End, Ord (= leaf index);
+//	          the covering text node per covering hierarchy lives in the
+//	          owning core.Document (per-version leaf-parent table), so
+//	          leaf structs can be shared across document versions
 type Node struct {
 	Kind Kind
 
@@ -106,10 +108,6 @@ type Node struct {
 	// Sub breaks Ord ties: 0 for the element itself, i+1 for its i-th
 	// attribute.
 	Sub int
-
-	// LeafParents holds, for a Leaf, the text node that contains it in
-	// each hierarchy that covers the leaf's span, in hierarchy order.
-	LeafParents []*Node
 }
 
 // NewElement returns an element node with the given name.
@@ -209,6 +207,26 @@ func (n *Node) Clone() *Node {
 	}
 	for _, ch := range n.Children {
 		c.AppendChild(ch.Clone())
+	}
+	return c
+}
+
+// CloneSpan deep-copies a span-carrying tree (e.g. the nodes of an
+// analyze-string overlay hierarchy) into fresh, document-less nodes
+// that keep their Start/End base-text coordinates — the form the
+// update engine's add-hierarchy edit consumes. Hierarchy bookkeeping
+// (Hier, ordinals, interned symbols) is dropped; Leaf nodes become
+// Text nodes.
+func (n *Node) CloneSpan() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data, Start: n.Start, End: n.End}
+	if n.Kind == Leaf {
+		c.Kind = Text
+	}
+	for _, a := range n.Attrs {
+		c.SetAttr(a.Name, a.Data)
+	}
+	for _, ch := range n.Children {
+		c.AppendChild(ch.CloneSpan())
 	}
 	return c
 }

@@ -586,7 +586,7 @@ func hierOK(c *context, n *dom.Node, hiers []string) (bool, error) {
 		return true, nil
 	}
 	if n.Kind == dom.Leaf {
-		for _, p := range n.LeafParents {
+		for _, p := range d.LeafParents(n) {
 			for _, h := range hiers {
 				if p.Hier == h {
 					return true, nil

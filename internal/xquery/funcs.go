@@ -748,7 +748,7 @@ func registerNodeFuncs() {
 		}
 		if n.Kind == dom.Leaf {
 			var out Seq
-			for _, p := range n.LeafParents {
+			for _, p := range c.st.docFor(n).LeafParents(n) {
 				out = append(out, p.Hier)
 			}
 			return out, nil

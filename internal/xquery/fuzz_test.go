@@ -1,7 +1,9 @@
 package xquery
 
 import (
+	stdctx "context"
 	"testing"
+	"time"
 
 	"mhxquery/internal/corpus"
 )
@@ -30,5 +32,44 @@ func FuzzParse(f *testing.F) {
 		}
 		// Lowering must also be total for everything that parses.
 		_ = q.PlanFor(fuzzDoc).Describe()
+	})
+}
+
+// FuzzUpdate fuzzes the update-expression parser AND applier: neither
+// may panic, every error must carry an error code, and the source
+// document must come through an Apply — successful or not — bit-for-bit
+// untouched. Applies run under a short deadline since target
+// expressions are arbitrary queries. CI runs this as a non-gating
+// smoke: go test -fuzz=FuzzUpdate -fuzztime=30s.
+func FuzzUpdate(f *testing.F) {
+	f.Add(`delete node (//dmg)[1]`)
+	f.Add(`rename node //w as "word", insert node seg into (//vline)[1]`)
+	f.Add(`replace value of node (//w)[2] with "xyz"`)
+	f.Add(`insert hierarchy "h" from analyze-string(/, "e")/child::m`)
+	f.Add(`insert node p before (//w)[1], insert node q after (//w)[1]`)
+	f.Add(`delete hierarchy "damage"`)
+	f.Add("delete node\x00")
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := CompileUpdate(src)
+		if err != nil {
+			if xe, ok := err.(*Error); !ok || xe.Code == "" {
+				t.Fatalf("CompileUpdate(%q): uncoded error %v", src, err)
+			}
+			return
+		}
+		ctx, cancel := stdctx.WithTimeout(stdctx.Background(), 2*time.Second)
+		defer cancel()
+		before := fuzzDoc.Signature()
+		nd, _, err := u.ApplyContext(ctx, fuzzDoc, nil)
+		if err != nil {
+			if xe, ok := err.(*Error); !ok || xe.Code == "" {
+				t.Fatalf("Apply(%q): uncoded error %v", src, err)
+			}
+		} else if nd != nil && nd != fuzzDoc && nd.Rev != fuzzDoc.Rev+1 {
+			t.Fatalf("Apply(%q): new version Rev = %d, want %d", src, nd.Rev, fuzzDoc.Rev+1)
+		}
+		if fuzzDoc.Signature() != before {
+			t.Fatalf("Apply(%q) mutated the source document", src)
+		}
 	})
 }

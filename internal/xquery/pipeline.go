@@ -146,7 +146,7 @@ func (rt *resolvedTest) hierOK(n *dom.Node) (bool, error) {
 		return true, nil
 	}
 	if n.Kind == dom.Leaf {
-		for _, p := range n.LeafParents {
+		for _, p := range rt.doc.LeafParents(n) {
 			for _, hi := range rt.hierIdx {
 				if p.HierIndex == hi {
 					return true, nil

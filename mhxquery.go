@@ -49,7 +49,10 @@ type Hierarchy struct {
 }
 
 // Document is a parsed multihierarchical document, stored as a KyGODDAG.
-// A Document is immutable and safe for concurrent use.
+// A Document is immutable and safe for concurrent use; Update produces
+// a NEW version (copy-on-write) and leaves the receiver untouched, so
+// readers holding older versions — including in-flight Streams — keep
+// evaluating against their snapshot.
 type Document struct {
 	g *core.Document
 }
@@ -147,6 +150,86 @@ func (d *Document) Leaves() []Node {
 		out[i] = Node{n: l, d: d.g}
 	}
 	return out
+}
+
+// Version returns the document's update revision: 0 for a freshly
+// parsed (or loaded) document, incremented by every Update.
+func (d *Document) Version() uint64 { return d.g.Rev }
+
+// UpdateStats reports what one Update did: how many primitives and
+// resolved edits were applied, and the copy-on-write accounting of the
+// underlying engine (what was shared versus copied, whether name
+// indexes were patched incrementally or left to rebuild).
+type UpdateStats struct {
+	// Ops is the number of update primitives in the expression; Edits
+	// the number of node-level edits they resolved to.
+	Ops, Edits int
+	// HierarchiesShared / HierarchiesCopied / NodesCopied expose the
+	// copy-on-write granularity: untouched hierarchies are shared with
+	// the previous version wholesale.
+	HierarchiesShared, HierarchiesCopied, NodesCopied int
+	// HierarchiesAdded / HierarchiesRemoved count layer-level changes.
+	HierarchiesAdded, HierarchiesRemoved int
+	// IndexesPatched counts structural name indexes maintained
+	// incrementally from the previous version; IndexesLazy those left
+	// to the lazy from-scratch build.
+	IndexesPatched, IndexesLazy int
+	// BoundsRecomputed reports whether the leaf partition's boundary
+	// array needed full recomputation (boundary-retiring edits) rather
+	// than an incremental merge.
+	BoundsRecomputed bool
+}
+
+func updateStatsFrom(rep *xquery.UpdateReport) UpdateStats {
+	return UpdateStats{
+		Ops:                rep.Ops,
+		Edits:              rep.Edits,
+		HierarchiesShared:  rep.Stats.HierarchiesShared,
+		HierarchiesCopied:  rep.Stats.HierarchiesCopied,
+		NodesCopied:        rep.Stats.NodesCopied,
+		HierarchiesAdded:   rep.Stats.HierarchiesAdded,
+		HierarchiesRemoved: rep.Stats.HierarchiesRemoved,
+		IndexesPatched:     rep.Stats.IndexesPatched,
+		IndexesLazy:        rep.Stats.IndexesLazy,
+		BoundsRecomputed:   rep.Stats.BoundsRecomputed,
+	}
+}
+
+// Update applies an update expression to the document and returns the
+// resulting NEW version; the receiver is never mutated. The language is
+// a small XQuery-Update-style surface whose targets are full extended
+// XQuery expressions:
+//
+//	insert node NAME into|before|after TARGET
+//	delete node TARGET
+//	rename node TARGET as EXPR
+//	replace value of node TARGET with EXPR
+//	insert hierarchy "NAME" from EXPR
+//	delete hierarchy "NAME"
+//
+// "insert node … into" wraps the target's children in the new element
+// (base text is immutable structure, so inserts never add text);
+// "before"/"after" insert an empty element at the target's edge;
+// "insert hierarchy … from" persists span-carrying nodes — typically
+// analyze-string matches — as a durable named hierarchy. All targets
+// are evaluated against the pre-update version and the batch applies
+// atomically. Comma-separated primitives form one batch.
+func (d *Document) Update(src string) (*Document, UpdateStats, error) {
+	return d.UpdateContext(context.Background(), src)
+}
+
+// UpdateContext is Update under a cancellation context (bounding the
+// evaluation of target expressions).
+func (d *Document) UpdateContext(ctx context.Context, src string) (*Document, UpdateStats, error) {
+	u, err := xquery.CompileUpdate(src)
+	if err != nil {
+		return nil, UpdateStats{}, err
+	}
+	nd, rep, err := u.ApplyContext(ctx, d.g, nil)
+	if err != nil {
+		return nil, UpdateStats{}, err
+	}
+	return &Document{g: nd}, updateStatsFrom(rep), nil
 }
 
 // Select evaluates a path expression (the paper's extended path language

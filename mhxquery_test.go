@@ -302,3 +302,47 @@ func TestExplainPublicAPI(t *testing.T) {
 		t.Fatalf("plan cache untouched: %+v", st)
 	}
 }
+
+func TestDocumentUpdatePublic(t *testing.T) {
+	d, err := mhxquery.Parse(
+		mhxquery.Hierarchy{Name: "pages", XML: `<r><page>Hello wo</page><page>rld</page></r>`},
+		mhxquery.Hierarchy{Name: "words", XML: `<r><w>Hello</w> <w>world</w></r>`},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 0 {
+		t.Fatalf("fresh Version = %d", d.Version())
+	}
+
+	// Wrap the split word, rename it, and persist an analyze-string
+	// overlay — one batch, one new version.
+	nd, stats, err := d.Update(`
+		insert node mark into (//w)[2],
+		insert hierarchy "ells" from analyze-string(/, "ll")/child::m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Version() != 1 || stats.Ops != 2 || stats.HierarchiesAdded != 1 {
+		t.Fatalf("version=%d stats=%+v", nd.Version(), stats)
+	}
+	out, err := nd.QueryString(`string(//mark)`)
+	if err != nil || out != "world" {
+		t.Fatalf("mark = %q, %v", out, err)
+	}
+	out, err = nd.QueryString(`count(//m[overlapping::page or xancestor::page])`)
+	if err != nil || out != "1" {
+		t.Fatalf("persisted overlay vs pages = %q, %v", out, err)
+	}
+	// The old version is untouched.
+	if out, err := d.QueryString(`count(//mark)`); err != nil || out != "0" {
+		t.Fatalf("old version sees the mark: %q, %v", out, err)
+	}
+	// Errors keep codes and never produce a half-applied version.
+	if _, _, err := nd.Update(`rename node //mark as "page"`); err == nil {
+		t.Fatal("cross-hierarchy rename must fail")
+	}
+	if out, _ := nd.QueryString(`count(//mark)`); out != "1" {
+		t.Fatalf("failed update mutated the document: %s", out)
+	}
+}

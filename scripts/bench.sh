@@ -2,9 +2,9 @@
 # bench.sh — run the evaluator benchmark suite and record the results.
 #
 # Runs the evaluator-level benchmarks (the paper queries E3–E7, the
-# P9 path-pipeline fixtures, the P10 indexed-descendant fixtures and
-# the P11 early-exit/FLWOR cursor fixtures)
-# with -count repetitions, prints the raw
+# P9 path-pipeline fixtures, the P10 indexed-descendant fixtures, the
+# P11 early-exit/FLWOR cursor fixtures and the P12 copy-on-write
+# update fixtures) with -count repetitions, prints the raw
 # `go test -bench` output, and writes the best (minimum ns/op) run per
 # benchmark to a JSON file so the perf trajectory is diffable in git.
 #
@@ -15,7 +15,7 @@
 set -eu
 
 COUNT=5
-BENCH='BenchmarkQuery|BenchmarkPathPipeline|BenchmarkExample1AnalyzeString|BenchmarkIndexedDescendant|BenchmarkEarlyExit|BenchmarkFLWORJoin'
+BENCH='BenchmarkQuery|BenchmarkPathPipeline|BenchmarkExample1AnalyzeString|BenchmarkIndexedDescendant|BenchmarkEarlyExit|BenchmarkFLWORJoin|BenchmarkUpdateSmallEdit|BenchmarkUpdateLargestHier|BenchmarkUpdateReparse|BenchmarkUpdateExpression'
 OUT=BENCH_eval.json
 while [ $# -gt 0 ]; do
 	case "$1" in
