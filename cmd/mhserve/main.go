@@ -20,9 +20,13 @@
 // restart recovers the full corpus. With -boethius the paper's Figure 1
 // fixture is preloaded under the name "boethius".
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	GET    /healthz      liveness + corpus size
+//	GET    /readyz       readiness; 503 once graceful shutdown starts draining
+//	GET    /metrics      Prometheus text format: engine metrics (query
+//	                     latency, cache hit/miss, fan-out, name index)
+//	                     plus HTTP request series
 //	GET    /docs         list documents with stats
 //	PUT    /docs/{name}  ingest {"hierarchies":[{"name":..,"xml":..,"dtd":..}]}
 //	GET    /docs/{name}  one document's stats
@@ -52,8 +56,18 @@
 // POST /query?explain=1 additionally returns the physical operator tree
 // of the evaluation — the whole lowered query (FLWOR clauses,
 // predicates, calls), index-vs-axis decisions and per-operator
-// cardinalities — under "plan". EXPLAIN requires a single target
-// document ("doc") and is incompatible with ?stream=1.
+// cardinalities — under "plan". ?analyze=1 upgrades that to EXPLAIN
+// ANALYZE: the tree also carries observed per-operator wall time
+// ("nanos", inclusive of children; the root is total query time). Both
+// require a single target document ("doc") and are incompatible with
+// ?stream=1.
+//
+// Every request carries a trace ID: the X-Trace-Id request header is
+// honored when present, generated otherwise, echoed on the response and
+// logged in the structured JSON request log (one line per request on
+// stderr). With -slow-query DURATION, single-document queries run
+// instrumented and any query at or over the threshold is logged with
+// its trace ID and analyzed plan.
 //
 // Query evaluation is bounded: request bodies beyond -max-body bytes
 // are rejected with 413, and -timeout caps wall-clock evaluation time
@@ -68,10 +82,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux (the -pprof listener only)
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"mhxquery"
@@ -90,7 +108,11 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. localhost:6060; empty = disabled)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request query evaluation timeout (0 = unlimited)")
 	maxBody := flag.Int64("max-body", maxBodyBytes, "maximum request body size in bytes")
+	slowQuery := flag.Duration("slow-query", 0, "log single-document queries slower than this with their analyzed plan (0 = disabled; enabling runs doc queries instrumented)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	coll, err := openCollection(*dir, *workers, *cache, *boethius)
 	if err != nil {
@@ -98,16 +120,23 @@ func main() {
 		os.Exit(1)
 	}
 	if *pprofAddr != "" {
+		// The profiling handlers get a private mux registered explicitly,
+		// so nothing a dependency drops onto the DefaultServeMux can ever
+		// leak onto the profiling port (or vice versa).
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			log.Printf("mhserve: pprof listening on %s", *pprofAddr)
-			// The default mux carries only the net/http/pprof handlers;
-			// the query API below runs on its own mux.
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
 				log.Printf("mhserve: pprof listener: %v", err)
 			}
 		}()
 	}
-	s := &server{coll: coll, timeout: *timeout, maxBody: *maxBody}
+	s := &server{coll: coll, timeout: *timeout, maxBody: *maxBody, slow: *slowQuery, logger: logger}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: s.routes(),
@@ -119,9 +148,32 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("mhserve: listening on %s (%d documents)", *addr, coll.Len())
-	if err := srv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, "mhserve:", err)
-		os.Exit(1)
+
+	// Serve until SIGINT/SIGTERM, then drain: /readyz flips to 503 so
+	// load balancers stop sending work, Shutdown lets in-flight requests
+	// finish within the drain timeout, and only then does the process
+	// exit (previously it died mid-request).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mhserve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		s.draining.Store(true)
+		logger.Info("shutdown: draining in-flight requests", "timeout", drain.String())
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			logger.Warn("shutdown: drain timeout expired, closing", "err", err.Error())
+			srv.Close()
+		}
+		logger.Info("shutdown: done")
 	}
 }
 
@@ -165,11 +217,31 @@ type server struct {
 	timeout time.Duration
 	// maxBody caps request bodies (MaxBytesReader).
 	maxBody int64
+	// slow is the slow-query log threshold (0 = disabled). When set,
+	// single-document queries run instrumented (EXPLAIN ANALYZE) so a
+	// slow one can be logged with its analyzed plan.
+	slow time.Duration
+	// logger emits the structured request and slow-query logs; routes()
+	// defaults it when nil so a zero-value server still works.
+	logger *slog.Logger
+	// httpM is the transport-level metrics registry (obs.go).
+	httpM *httpMetrics
+	// draining flips once graceful shutdown begins; /readyz then serves
+	// 503 while in-flight requests finish.
+	draining atomic.Bool
 }
 
 func (s *server) routes() http.Handler {
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if s.httpM == nil {
+		s.httpM = newHTTPMetrics()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /docs", s.handleListDocs)
 	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
 	mux.HandleFunc("GET /docs/{name}", s.handleGetDoc)
@@ -177,7 +249,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("PATCH /docs/{name}", s.handlePatchDoc)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /update", s.handleUpdate)
-	return mux
+	return s.withObs(mux)
 }
 
 // ---- JSON wire types -------------------------------------------------------
@@ -413,12 +485,13 @@ func (s *server) applyUpdate(w http.ResponseWriter, r *http.Request, name, src s
 	})
 }
 
-// queryParams are the parsed ?limit= / ?stream= / ?explain= query
-// parameters of POST /query.
+// queryParams are the parsed ?limit= / ?stream= / ?explain= /
+// ?analyze= query parameters of POST /query.
 type queryParams struct {
 	limit   int // 0 = unlimited
 	stream  bool
 	explain bool
+	analyze bool
 }
 
 func parseQueryParams(r *http.Request) (queryParams, error) {
@@ -430,6 +503,13 @@ func parseQueryParams(r *http.Request) (queryParams, error) {
 		p.explain = true
 	default:
 		return p, fmt.Errorf("explain must be 0/1")
+	}
+	switch q.Get("analyze") {
+	case "", "0", "false":
+	case "1", "true":
+		p.analyze = true
+	default:
+		return p, fmt.Errorf("analyze must be 0/1")
 	}
 	switch q.Get("stream") {
 	case "", "0", "false":
@@ -492,12 +572,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if p.explain && req.Doc == "" {
-		writeError(w, http.StatusBadRequest, `explain requires a single target document ("doc")`)
+	if (p.explain || p.analyze) && req.Doc == "" {
+		writeError(w, http.StatusBadRequest, `explain/analyze requires a single target document ("doc")`)
 		return
 	}
-	if p.explain && p.stream {
-		writeError(w, http.StatusBadRequest, "explain and stream are mutually exclusive")
+	if (p.explain || p.analyze) && p.stream {
+		writeError(w, http.StatusBadRequest, "explain/analyze and stream are mutually exclusive")
 		return
 	}
 	if req.Doc != "" && req.Collection != "" {
@@ -544,9 +624,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // queryOneDoc answers a non-streaming single-document query. With a
 // limit the evaluation runs through the document's cursor stream and
-// stops at the limit; without one (and for EXPLAIN) it materializes.
+// stops at the limit; without one (and for EXPLAIN / EXPLAIN ANALYZE)
+// it materializes.
 func (s *server) queryOneDoc(ctx context.Context, w http.ResponseWriter, req *queryRequest, p queryParams, render func(mhxquery.Sequence) string) {
-	if p.explain {
+	if p.explain && !p.analyze {
 		res, plan, err := s.coll.Explain(req.Doc, req.Query)
 		if err != nil {
 			writeError(w, queryStatus(err), "%v", err)
@@ -559,8 +640,33 @@ func (s *server) queryOneDoc(ctx context.Context, w http.ResponseWriter, req *qu
 		})
 		return
 	}
+	// ?analyze=1 runs the query timed and returns the analyzed plan.
+	// A -slow-query threshold routes plain doc queries through the same
+	// instrumented evaluation (auto_explain-style: the plan of a slow
+	// query can only be reported if the query ran instrumented), at the
+	// documented cost of per-operator timing on those requests.
+	if p.analyze || (s.slow > 0 && p.limit == 0) {
+		start := time.Now()
+		res, plan, err := s.coll.ExplainAnalyze(ctx, req.Doc, req.Query)
+		if err != nil {
+			writeError(w, queryStatus(err), "%v", err)
+			return
+		}
+		if elapsed := time.Since(start); s.slow > 0 && elapsed >= s.slow {
+			s.logSlowQuery(ctx, req.Doc, req.Query, elapsed, plan)
+		}
+		resp := queryResponse{Results: []queryResult{{Doc: req.Doc}}}
+		out := render(res)
+		resp.Results[0].Result = &out
+		if p.analyze {
+			resp.Plan = plan
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	// Without a limit the strict evaluator is the faster full drain;
 	// with one, the stream stops document evaluation at the limit.
+	start := time.Now()
 	var res mhxquery.Sequence
 	var err error
 	if p.limit == 0 {
@@ -574,6 +680,10 @@ func (s *server) queryOneDoc(ctx context.Context, w http.ResponseWriter, req *qu
 	if err != nil {
 		writeError(w, queryStatus(err), "%v", err)
 		return
+	}
+	if elapsed := time.Since(start); s.slow > 0 && elapsed >= s.slow {
+		// Limited queries run uninstrumented; log without a plan.
+		s.logSlowQuery(ctx, req.Doc, req.Query, elapsed, nil)
 	}
 	out := render(res)
 	writeJSON(w, http.StatusOK, queryResponse{

@@ -23,15 +23,23 @@ func resultOf(q queryResult) string {
 }
 
 func newTestServer(t *testing.T) *httptest.Server {
+	ts, _ := newTestServerWith(t, 0)
+	return ts
+}
+
+// newTestServerWith builds a server with a slow-query threshold and
+// returns it along with the underlying server value (for log/metric
+// assertions). Request logs go to io.Discard to keep test output quiet.
+func newTestServerWith(t *testing.T, slow time.Duration) (*httptest.Server, *server) {
 	t.Helper()
 	coll, err := openCollection("", 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{coll: coll}
+	s := &server{coll: coll, slow: slow, logger: discardLogger()}
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, s
 }
 
 // do issues a JSON request and decodes the JSON response into out.
@@ -242,7 +250,7 @@ func TestServerPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{coll: coll}
+	s := &server{coll: coll, logger: discardLogger()}
 	ts := httptest.NewServer(s.routes())
 
 	// The preloaded Boethius fixture answers a paper query.
@@ -265,7 +273,7 @@ func TestServerPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2 := &server{coll: coll2}
+	s2 := &server{coll: coll2, logger: discardLogger()}
 	ts2 := httptest.NewServer(s2.routes())
 	defer ts2.Close()
 	var list struct {
@@ -477,7 +485,7 @@ func TestServerQueryBodyTooLarge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{coll: coll, maxBody: 256}
+	s := &server{coll: coll, maxBody: 256, logger: discardLogger()}
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 
@@ -496,7 +504,7 @@ func TestServerQueryTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{coll: coll, timeout: 50 * time.Millisecond}
+	s := &server{coll: coll, timeout: 50 * time.Millisecond, logger: discardLogger()}
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 	putHelloDoc(t, ts, "a")
@@ -561,7 +569,7 @@ func TestServerUpdate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{coll: coll}
+	s := &server{coll: coll, logger: discardLogger()}
 	ts := httptest.NewServer(s.routes())
 	defer ts.Close()
 
@@ -622,7 +630,7 @@ func TestServerUpdate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2 := &server{coll: coll2}
+	s2 := &server{coll: coll2, logger: discardLogger()}
 	ts2 := httptest.NewServer(s2.routes())
 	defer ts2.Close()
 	var qr queryResponse

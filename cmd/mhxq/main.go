@@ -7,6 +7,7 @@
 //	mhxq -boethius -q 'count(/descendant::w)'
 //	mhxq -boethius -limit 1 -q '//w'
 //	mhxq -boethius -explain -q 'for $w in //w return string($w)'
+//	mhxq -boethius -analyze -q '//w[@n]'
 //	mhxq -boethius -update 'delete node (//dmg)[1]' -q 'count(//dmg)'
 //	mhxq -boethius -update 'insert hierarchy "marks" from analyze-string(/, "ge")/child::m'
 //
@@ -17,7 +18,9 @@
 // a JSON object {"result":…, "plan":…} is printed, where plan is the
 // physical operator tree of the whole lowered query — FLWOR clauses,
 // predicates and calls included, with index-vs-scan decisions and
-// cardinalities. With -limit N the query evaluates through the
+// cardinalities. -analyze upgrades that to EXPLAIN ANALYZE: each
+// operator additionally reports its observed wall time ("nanos",
+// inclusive of children; the root is the total query time). With -limit N the query evaluates through the
 // streaming cursor engine and stops after N result items (O(answer)
 // work, not O(document)). With -update the update expression (see
 // Document.Update) is applied first — copy-on-write, producing a new
@@ -58,17 +61,18 @@ func main() {
 	format := flag.String("format", "xml", "output format: xml or text")
 	boethius := flag.Bool("boethius", false, "use the built-in Figure 1 fixture")
 	explain := flag.Bool("explain", false, "print the physical plan with per-operator cardinalities as JSON")
+	analyze := flag.Bool("analyze", false, "like -explain, with observed per-operator wall time (EXPLAIN ANALYZE)")
 	limit := flag.Int("limit", 0, "stop after N result items (0 = all); evaluation is lazy and does only the work the limit needs")
 	update := flag.String("update", "", "apply an update expression before querying; without -q, print the new version and update stats as JSON")
 	flag.Parse()
 
-	if err := run(hiers, *query, *queryFile, *format, *boethius, *explain, *limit, *update); err != nil {
+	if err := run(hiers, *query, *queryFile, *format, *boethius, *explain, *analyze, *limit, *update); err != nil {
 		fmt.Fprintln(os.Stderr, "mhxq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hiers []string, query, queryFile, format string, boethius, explain bool, limit int, update string) error {
+func run(hiers []string, query, queryFile, format string, boethius, explain, analyze bool, limit int, update string) error {
 	src := query
 	if queryFile != "" {
 		b, err := os.ReadFile(queryFile)
@@ -117,8 +121,12 @@ func run(hiers []string, query, queryFile, format string, boethius, explain bool
 			return enc.Encode(map[string]any{"version": doc.Version(), "stats": stats})
 		}
 	}
-	if explain {
-		res, plan, err := doc.Explain(src)
+	if explain || analyze {
+		runExplain := doc.Explain
+		if analyze {
+			runExplain = doc.ExplainAnalyze
+		}
+		res, plan, err := runExplain(src)
 		if err != nil {
 			return err
 		}

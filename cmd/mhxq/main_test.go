@@ -7,10 +7,10 @@ import (
 )
 
 func TestRunBoethius(t *testing.T) {
-	if err := run(nil, `count(/descendant::w)`, "", "xml", true, false, 0, ""); err != nil {
+	if err := run(nil, `count(/descendant::w)`, "", "xml", true, false, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(nil, `string(/descendant::w[1])`, "", "text", true, false, 0, ""); err != nil {
+	if err := run(nil, `string(/descendant::w[1])`, "", "text", true, false, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -25,14 +25,14 @@ func TestRunFiles(t *testing.T) {
 	if err := os.WriteFile(b, []byte(`<r>a<x>bc</x>d</r>`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"pages=" + a, "spans=" + b}, `count(/descendant::x[overlapping::p])`, "", "xml", false, false, 0, ""); err != nil {
+	if err := run([]string{"pages=" + a, "spans=" + b}, `count(/descendant::x[overlapping::p])`, "", "xml", false, false, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	qf := filepath.Join(dir, "q.xq")
 	if err := os.WriteFile(qf, []byte(`string(/descendant::p[1])`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"pages=" + a, "spans=" + b}, "", qf, "xml", false, false, 0, ""); err != nil {
+	if err := run([]string{"pages=" + a, "spans=" + b}, "", qf, "xml", false, false, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -42,11 +42,11 @@ func TestRunErrors(t *testing.T) {
 		name string
 		fn   func() error
 	}{
-		{"no query", func() error { return run(nil, "", "", "xml", true, false, 0, "") }},
-		{"no hierarchies", func() error { return run(nil, "1", "", "xml", false, false, 0, "") }},
-		{"missing file", func() error { return run([]string{"a=/nope/missing.xml"}, "1", "", "xml", false, false, 0, "") }},
-		{"bad query", func() error { return run(nil, "for $x in", "", "xml", true, false, 0, "") }},
-		{"missing query file", func() error { return run(nil, "", "/nope/q.xq", "xml", true, false, 0, "") }},
+		{"no query", func() error { return run(nil, "", "", "xml", true, false, false, 0, "") }},
+		{"no hierarchies", func() error { return run(nil, "1", "", "xml", false, false, false, 0, "") }},
+		{"missing file", func() error { return run([]string{"a=/nope/missing.xml"}, "1", "", "xml", false, false, false, 0, "") }},
+		{"bad query", func() error { return run(nil, "for $x in", "", "xml", true, false, false, 0, "") }},
+		{"missing query file", func() error { return run(nil, "", "/nope/q.xq", "xml", true, false, false, 0, "") }},
 	}
 	for _, tc := range cases {
 		if err := tc.fn(); err == nil {
@@ -69,40 +69,44 @@ func TestHierFlags(t *testing.T) {
 }
 
 func TestRunExplain(t *testing.T) {
-	if err := run(nil, `/descendant::line`, "", "xml", true, true, 0, ""); err != nil {
+	if err := run(nil, `/descendant::line`, "", "xml", true, true, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(nil, `string(/descendant::w[1])`, "", "text", true, true, 0, ""); err != nil {
+	if err := run(nil, `string(/descendant::w[1])`, "", "text", true, true, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(nil, `for $x in`, "", "xml", true, true, 0, ""); err == nil {
+	if err := run(nil, `for $x in`, "", "xml", true, true, false, 0, ""); err == nil {
 		t.Fatal("bad query with -explain: want error")
+	}
+	// -analyze: the instrumented run, plan carries observed wall time.
+	if err := run(nil, `count(/descendant::w)`, "", "xml", true, false, true, 0, ""); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestRunLimit(t *testing.T) {
-	if err := run(nil, `//w`, "", "xml", true, false, 1, ""); err != nil {
+	if err := run(nil, `//w`, "", "xml", true, false, false, 1, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(nil, `//leaf()`, "", "text", true, false, 3, ""); err != nil {
+	if err := run(nil, `//leaf()`, "", "text", true, false, false, 3, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUpdate(t *testing.T) {
 	// Update then query the new version.
-	if err := run(nil, `count(//dmg)`, "", "xml", true, false, 0, `delete node (//dmg)[1]`); err != nil {
+	if err := run(nil, `count(//dmg)`, "", "xml", true, false, false, 0, `delete node (//dmg)[1]`); err != nil {
 		t.Fatal(err)
 	}
 	// Update alone prints version + stats JSON.
-	if err := run(nil, "", "", "xml", true, false, 0, `insert hierarchy "marks" from analyze-string(/, "ge")/child::m`); err != nil {
+	if err := run(nil, "", "", "xml", true, false, false, 0, `insert hierarchy "marks" from analyze-string(/, "ge")/child::m`); err != nil {
 		t.Fatal(err)
 	}
 	// Bad update expressions error out.
-	if err := run(nil, "", "", "xml", true, false, 0, `rename node`); err == nil {
+	if err := run(nil, "", "", "xml", true, false, false, 0, `rename node`); err == nil {
 		t.Fatal("expected parse error")
 	}
-	if err := run(nil, "", "", "xml", true, false, 0, `rename node //w as "line"`); err == nil {
+	if err := run(nil, "", "", "xml", true, false, false, 0, `rename node //w as "line"`); err == nil {
 		t.Fatal("expected vocabulary error")
 	}
 }

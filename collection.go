@@ -3,8 +3,10 @@ package mhxquery
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"mhxquery/internal/collection"
+	"mhxquery/internal/obs"
 	"mhxquery/internal/xquery"
 )
 
@@ -131,6 +133,37 @@ func (c *Collection) Explain(name, src string) (Sequence, *PlanOp, error) {
 	}
 	return Sequence{s: seq, d: d}, planOpFrom(tree), nil
 }
+
+// ExplainAnalyze is Explain upgraded to EXPLAIN ANALYZE: the query runs
+// with wall-time instrumentation and each operator of the returned tree
+// carries its observed time (PlanOp.Nanos, inclusive of children); the
+// root's Nanos is the total query wall time.
+func (c *Collection) ExplainAnalyze(ctx context.Context, name, src string) (Sequence, *PlanOp, error) {
+	seq, tree, d, err := c.c.ExplainAnalyzeDoc(ctx, name, src)
+	if err != nil {
+		return Sequence{}, nil, err
+	}
+	return Sequence{s: seq, d: d}, planOpFrom(tree), nil
+}
+
+// Metrics is a read-only view of a collection's observability registry:
+// query/update latency histograms, cache hit/miss counters, fan-out
+// gauges and name-index build counters. See the README's Observability
+// section for the metric catalog.
+type Metrics struct {
+	r *obs.Registry
+}
+
+// WritePrometheus encodes every metric in the Prometheus text
+// exposition format (version 0.0.4).
+func (m Metrics) WritePrometheus(w io.Writer) error { return m.r.WritePrometheus(w) }
+
+// Snapshot flattens every scalar metric into a map keyed by
+// "name{labels}"; histograms contribute "_count" and "_sum" entries.
+func (m Metrics) Snapshot() map[string]float64 { return m.r.Snapshot() }
+
+// Metrics returns the collection's metrics.
+func (c *Collection) Metrics() Metrics { return Metrics{r: c.c.Metrics()} }
 
 // CollectionResult is the outcome of one document's evaluation in a
 // QueryAll fan-out.

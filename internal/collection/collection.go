@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"mhxquery/internal/core"
 	"mhxquery/internal/store"
@@ -77,6 +78,10 @@ type Collection struct {
 	// differently, so a base-document plan is never blindly reused.
 	plans *lruCache
 
+	// metrics is the collection's observability registry (metrics.go);
+	// always non-nil, so hot paths update it unconditionally.
+	metrics *collMetrics
+
 	mu     sync.RWMutex
 	docs   map[string]*core.Document
 	closed bool
@@ -98,12 +103,14 @@ func New(opts Options) *Collection {
 		// query cache so one extra corpus layout does not thrash it.
 		plans = newLRU(4 * opts.CacheSize)
 	}
-	return &Collection{
+	c := &Collection{
 		workers: opts.Workers,
 		cache:   cache,
 		plans:   plans,
 		docs:    map[string]*core.Document{},
 	}
+	c.metrics = newCollMetrics(c)
+	return c
 }
 
 // Open returns a collection persisted under dir, creating the directory
@@ -293,6 +300,10 @@ func (c *Collection) UpdateContext(ctx context.Context, name, src string) (*core
 	}
 	c.updateMu.Lock()
 	defer c.updateMu.Unlock()
+	// Commit latency covers apply + persist + publish, i.e. everything
+	// after the writer lock is held — queueing behind other writers is
+	// deliberately excluded.
+	start := time.Now()
 	v := c.view()
 	d, err := v.ResolveDoc(name)
 	if err != nil {
@@ -305,6 +316,7 @@ func (c *Collection) UpdateContext(ctx context.Context, name, src string) (*core
 	if _, err := c.Put(name, nd); err != nil {
 		return nil, nil, err
 	}
+	c.metrics.observeUpdate(start)
 	return nd, rep, nil
 }
 
@@ -489,10 +501,12 @@ func (c *Collection) QueryDocContext(ctx context.Context, name, src string) (xqu
 	if err != nil {
 		return nil, nil, fmt.Errorf("collection: %w", err)
 	}
+	start := time.Now()
 	seq, err := c.planFor(src, q, d).EvalContext(ctx, d, nil, v)
 	if err != nil {
 		return nil, nil, err
 	}
+	c.metrics.observeQuery(start)
 	return seq, d, nil
 }
 
@@ -532,5 +546,30 @@ func (c *Collection) ExplainDoc(name, src string) (xquery.Seq, *xquery.ExplainOp
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	return seq, plan, d, nil
+}
+
+// ExplainAnalyzeDoc is ExplainDoc upgraded to EXPLAIN ANALYZE: the
+// query runs with timing instrumentation and the returned operator tree
+// carries observed per-operator wall time (inclusive of children) in
+// addition to cardinalities; the root's Nanos is the total query wall
+// time. The evaluation counts toward mhx_query_seconds like any other.
+func (c *Collection) ExplainAnalyzeDoc(ctx context.Context, name, src string) (xquery.Seq, *xquery.ExplainOp, *core.Document, error) {
+	q, err := c.Compile(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	v := c.view()
+	d, err := v.ResolveDoc(name)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("collection: %w", err)
+	}
+	pl := c.planFor(src, q, d)
+	start := time.Now()
+	seq, plan, err := pl.ExplainAnalyze(ctx, d, nil, v)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	c.metrics.observeQuery(start)
 	return seq, plan, d, nil
 }

@@ -3,6 +3,7 @@ package collection
 import (
 	"context"
 	"sync"
+	"time"
 
 	"mhxquery/internal/core"
 	"mhxquery/internal/xquery"
@@ -51,7 +52,7 @@ func (c *Collection) QueryAllLimit(ctx context.Context, src, pattern string, lim
 	if err != nil {
 		return nil, err
 	}
-	results := runPool(c.workers, len(docs), func(i int) Result {
+	results := c.runPool(len(docs), func(i int) Result {
 		return c.evalOne(ctx, q, src, v, names[i], docs[i], limit)
 	})
 	if limit > 0 {
@@ -69,34 +70,47 @@ func (c *Collection) QueryAllLimit(ctx context.Context, src, pattern string, lim
 	return results, nil
 }
 
-// runPool runs jobs 0..n-1 on at most workers goroutines and returns
-// the i-th job's result at index i.
-func runPool(workers, n int, job func(int) Result) []Result {
+// runPool runs jobs 0..n-1 on at most c.workers goroutines and returns
+// the i-th job's result at index i. The whole job list is queued up
+// front (the channel is buffered), so mhx_fanout_queue_depth reads as
+// "accepted but not yet started" and mhx_fanout_busy_workers as
+// "currently evaluating" — the two numbers an operator needs to tell a
+// saturated pool from an idle one.
+func (c *Collection) runPool(n int, job func(int) Result) []Result {
 	results := make([]Result, n)
+	workers := c.workers
 	if workers > n {
 		workers = n
 	}
+	m := c.metrics
+	run := func(i int) {
+		m.queueDepth.Dec()
+		m.busyWorkers.Inc()
+		results[i] = job(i)
+		m.busyWorkers.Dec()
+	}
+	m.queueDepth.Add(int64(n))
 	if workers <= 1 {
 		for i := range results {
-			results[i] = job(i)
+			run(i)
 		}
 		return results
 	}
-	next := make(chan int)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = job(i)
+				run(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return results
 }
@@ -106,17 +120,20 @@ func runPool(workers, n int, job func(int) Result) []Result {
 // draining the document.
 func (c *Collection) evalOne(ctx context.Context, q *xquery.Query, src string, v *view, name string, d *core.Document, limit int) Result {
 	pl := c.planFor(src, q, d)
+	start := time.Now()
 	if limit <= 0 {
 		seq, err := pl.EvalContext(ctx, d, nil, v)
 		if err != nil {
 			return Result{Name: name, Doc: d, Err: err}
 		}
+		c.metrics.observeQuery(start)
 		return Result{Name: name, Doc: d, Seq: seq}
 	}
 	seq, err := pl.Stream(ctx, d, nil, v).Take(limit)
 	if err != nil {
 		return Result{Name: name, Doc: d, Err: err}
 	}
+	c.metrics.observeQuery(start)
 	return Result{Name: name, Doc: d, Seq: seq}
 }
 

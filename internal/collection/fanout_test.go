@@ -19,7 +19,7 @@ func TestRunPoolParallelism(t *testing.T) {
 	barrier.Add(n)
 	done := make(chan []Result, 1)
 	go func() {
-		done <- runPool(n, n, func(i int) Result {
+		done <- New(Options{Workers: n}).runPool(n, func(i int) Result {
 			barrier.Done()
 			barrier.Wait() // blocks until every job has started
 			return Result{Name: fmt.Sprint(i)}
@@ -41,7 +41,7 @@ func TestRunPoolParallelism(t *testing.T) {
 func TestRunPoolBounded(t *testing.T) {
 	const workers, jobs = 3, 20
 	var running, peak atomic.Int32
-	runPool(workers, jobs, func(i int) Result {
+	New(Options{Workers: workers}).runPool(jobs, func(i int) Result {
 		cur := running.Add(1)
 		for {
 			p := peak.Load()
@@ -61,7 +61,7 @@ func TestRunPoolBounded(t *testing.T) {
 // TestRunPoolOrdering: results come back indexed by job, not by
 // completion order.
 func TestRunPoolOrdering(t *testing.T) {
-	results := runPool(4, 12, func(i int) Result {
+	results := New(Options{Workers: 4}).runPool(12, func(i int) Result {
 		time.Sleep(time.Duration(12-i) * time.Millisecond) // later jobs finish first
 		return Result{Name: fmt.Sprint(i)}
 	})
@@ -74,10 +74,10 @@ func TestRunPoolOrdering(t *testing.T) {
 
 // TestRunPoolSmall covers the degenerate sizes.
 func TestRunPoolSmall(t *testing.T) {
-	if got := runPool(4, 0, func(int) Result { panic("no jobs") }); len(got) != 0 {
+	if got := New(Options{Workers: 4}).runPool(0, func(int) Result { panic("no jobs") }); len(got) != 0 {
 		t.Fatalf("0 jobs: %v", got)
 	}
-	got := runPool(1, 3, func(i int) Result { return Result{Name: fmt.Sprint(i)} })
+	got := New(Options{Workers: 1}).runPool(3, func(i int) Result { return Result{Name: fmt.Sprint(i)} })
 	if len(got) != 3 || got[2].Name != "2" {
 		t.Fatalf("sequential path: %v", got)
 	}

@@ -3,6 +3,8 @@ package collection
 import (
 	"container/list"
 	"sync"
+
+	"mhxquery/internal/obs"
 )
 
 // lruCache is a fixed-capacity least-recently-used cache keyed by
@@ -16,6 +18,11 @@ type lruCache struct {
 	ll           *list.List // front = most recently used
 	items        map[string]*list.Element
 	hits, misses uint64
+
+	// hitC/missC mirror hits/misses into the owning collection's metrics
+	// registry when set (metrics.go); they are atomics, so incrementing
+	// under the cache lock costs one uncontended atomic add.
+	hitC, missC *obs.Counter
 }
 
 type lruEntry struct {
@@ -37,9 +44,15 @@ func (l *lruCache) get(key string) (any, bool) {
 	el, ok := l.items[key]
 	if !ok {
 		l.misses++
+		if l.missC != nil {
+			l.missC.Inc()
+		}
 		return nil, false
 	}
 	l.hits++
+	if l.hitC != nil {
+		l.hitC.Inc()
+	}
 	l.ll.MoveToFront(el)
 	return el.Value.(*lruEntry).v, true
 }

@@ -1,0 +1,96 @@
+package collection
+
+import (
+	"time"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/obs"
+)
+
+// collMetrics holds the collection's metric handles, looked up once at
+// construction so the hot paths (per-document evaluation, cache gets,
+// fan-out scheduling) update atomics without touching the registry map.
+//
+// The catalog:
+//
+//	mhx_query_seconds                 histogram  per-document query evaluation latency
+//	mhx_update_commit_seconds         histogram  update apply+persist+publish latency
+//	mhx_cache_requests_total          counter    {cache="compile"|"plan", result="hit"|"miss"}
+//	mhx_fanout_queue_depth            gauge      fan-out jobs accepted but not yet started
+//	mhx_fanout_busy_workers           gauge      fan-out workers currently evaluating
+//	mhx_documents                     gauge      member documents in the registry
+//	mhx_nameindex_builds_total        counter    from-scratch name-index builds (process-wide)
+//	mhx_nameindex_build_seconds_total counter    wall time spent in those builds (process-wide)
+//	mhx_index_maintenance_total       counter    {outcome="patched"|"lazy_rebuild"} update index outcomes (process-wide)
+//
+// The name-index families sample process-wide core counters (builds
+// happen lazily inside Hierarchy methods where no registry is in
+// scope), so with several Collections in one process each reports the
+// same process totals.
+type collMetrics struct {
+	reg           *obs.Registry
+	querySeconds  *obs.Histogram
+	updateSeconds *obs.Histogram
+	queueDepth    *obs.Gauge
+	busyWorkers   *obs.Gauge
+}
+
+func newCollMetrics(c *Collection) *collMetrics {
+	reg := obs.NewRegistry()
+	m := &collMetrics{
+		reg: reg,
+		querySeconds: reg.Histogram("mhx_query_seconds",
+			"Per-document query evaluation latency in seconds.", obs.LatencyBuckets),
+		updateSeconds: reg.Histogram("mhx_update_commit_seconds",
+			"Update commit latency in seconds: apply, persist, publish.", obs.LatencyBuckets),
+		queueDepth: reg.Gauge("mhx_fanout_queue_depth",
+			"Fan-out jobs accepted but not yet picked up by a worker."),
+		busyWorkers: reg.Gauge("mhx_fanout_busy_workers",
+			"Fan-out workers currently evaluating a document."),
+	}
+	const cacheHelp = "Cache lookups by cache (compile = source->Query, plan = source+signature->Plan) and result."
+	if c.cache != nil {
+		c.cache.hitC = reg.Counter("mhx_cache_requests_total", cacheHelp,
+			obs.L("cache", "compile"), obs.L("result", "hit"))
+		c.cache.missC = reg.Counter("mhx_cache_requests_total", cacheHelp,
+			obs.L("cache", "compile"), obs.L("result", "miss"))
+	}
+	if c.plans != nil {
+		c.plans.hitC = reg.Counter("mhx_cache_requests_total", cacheHelp,
+			obs.L("cache", "plan"), obs.L("result", "hit"))
+		c.plans.missC = reg.Counter("mhx_cache_requests_total", cacheHelp,
+			obs.L("cache", "plan"), obs.L("result", "miss"))
+	}
+	reg.GaugeFunc("mhx_documents",
+		"Member documents in the registry.",
+		func() float64 { return float64(c.Len()) })
+	reg.CounterFunc("mhx_nameindex_builds_total",
+		"From-scratch structural name-index builds (process-wide).",
+		func() float64 { return float64(core.GlobalIndexStats().Builds) })
+	reg.CounterFunc("mhx_nameindex_build_seconds_total",
+		"Wall time spent building structural name indexes, in seconds (process-wide).",
+		func() float64 { return float64(core.GlobalIndexStats().BuildNanos) / 1e9 })
+	const maintHelp = "Name-index outcomes of document updates: patched incrementally or discarded for a lazy rebuild (process-wide)."
+	reg.CounterFunc("mhx_index_maintenance_total", maintHelp,
+		func() float64 { return float64(core.GlobalIndexStats().Patched) },
+		obs.L("outcome", "patched"))
+	reg.CounterFunc("mhx_index_maintenance_total", maintHelp,
+		func() float64 { return float64(core.GlobalIndexStats().LazyReset) },
+		obs.L("outcome", "lazy_rebuild"))
+	return m
+}
+
+// observeQuery records one per-document evaluation latency.
+func (m *collMetrics) observeQuery(start time.Time) {
+	m.querySeconds.Observe(time.Since(start).Seconds())
+}
+
+// observeUpdate records one update commit latency.
+func (m *collMetrics) observeUpdate(start time.Time) {
+	m.updateSeconds.Observe(time.Since(start).Seconds())
+}
+
+// Metrics returns the collection's metrics registry, for scraping
+// (obs.Registry.WritePrometheus) or programmatic inspection
+// (obs.Registry.Snapshot).
+func (c *Collection) Metrics() *obs.Registry { return c.metrics.reg }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mhxquery/internal/dom"
 )
@@ -41,7 +42,10 @@ type nameIndex struct {
 
 // build fills the index from the hierarchy's preorder node list.
 func (ix *nameIndex) build(h *Hierarchy) {
+	start := time.Now()
 	ix.runs = rebuildRuns(h)
+	indexBuilds.Add(1)
+	indexBuildNanos.Add(int64(time.Since(start)))
 	ix.built.Store(true)
 }
 

@@ -439,6 +439,7 @@ func (d *Document) Apply(edits []Edit) (*Document, *UpdateStats, error) {
 		d2.Hiers = append(d2.Hiers, h)
 		st.HierarchiesAdded++
 		st.IndexesLazy++
+		indexLazyReset.Add(1)
 	}
 
 	for _, h := range d2.Hiers {
@@ -767,6 +768,7 @@ func (d2 *Document) applyToHierarchy(d *Document, h *Hierarchy, newIdx int, hEdi
 	// ---- incremental name-index maintenance -------------------------------
 	if oldRuns == nil {
 		st.IndexesLazy++
+		indexLazyReset.Add(1)
 	} else {
 		// Removals and additions are derived from the FINAL state of
 		// each renamed node (so a node renamed twice — or renamed back
@@ -803,6 +805,7 @@ func (d2 *Document) applyToHierarchy(d *Document, h *Hierarchy, newIdx int, hEdi
 		}
 		h2.idx.install(patchRuns(oldRuns, remapOrd, removals, adds))
 		st.IndexesPatched++
+		indexPatched.Add(1)
 	}
 	return h2, nodes, boundPts, nil
 }

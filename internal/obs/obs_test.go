@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name + labels returns the same instance.
+	if r.Counter("requests_total", "total requests") != c {
+		t.Fatal("re-registration returned a new counter")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLabeledChildrenAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	hit := r.Counter("cache_total", "cache", L("result", "hit"))
+	miss := r.Counter("cache_total", "cache", L("result", "miss"))
+	if hit == miss {
+		t.Fatal("distinct label sets shared a counter")
+	}
+	hit.Add(3)
+	miss.Inc()
+	snap := r.Snapshot()
+	if snap[`cache_total{result="hit"}`] != 3 || snap[`cache_total{result="miss"}`] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Label order must not matter.
+	a := r.Counter("multi_total", "", L("a", "1"), L("b", "2"))
+	b := r.Counter("multi_total", "", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order created distinct children")
+	}
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5, 0.009} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.564) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.564", h.Sum())
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	want := []string{
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	}
+	for _, w := range want {
+		if !strings.Contains(text, w) {
+			t.Fatalf("missing %q in:\n%s", w, text)
+		}
+	}
+}
+
+// TestPrometheusFormat checks the exposition structure: HELP/TYPE
+// headers precede samples, families are sorted, every sample line
+// parses as name{labels} float.
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees", L("kind", `with"quote`)).Inc()
+	r.Gauge("a_gauge", "letter a").Set(-3)
+	r.Histogram("c_seconds", "latency", []float64{0.5}).Observe(0.25)
+	r.CounterFunc("d_func_total", "sampled", func() float64 { return 42 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	var familiesInOrder []string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	typeSeen := map[string]bool{}
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			familiesInOrder = append(familiesInOrder, parts[2])
+			typeSeen[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable sample %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+	}
+	wantOrder := []string{"a_gauge", "b_total", "c_seconds", "d_func_total"}
+	if fmt.Sprint(familiesInOrder) != fmt.Sprint(wantOrder) {
+		t.Fatalf("family order = %v, want %v", familiesInOrder, wantOrder)
+	}
+	if !strings.Contains(text, `b_total{kind="with\"quote"} 1`) {
+		t.Fatalf("label escaping wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "d_func_total 42") {
+		t.Fatalf("counterfunc not sampled:\n%s", text)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestConcurrentUpdatesAndScrapes hammers every metric type from many
+// goroutines while scraping; run under -race this is the registry's
+// thread-safety proof.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hot_total", "", L("w", strconv.Itoa(w%2)))
+			g := r.Gauge("hot_gauge", "")
+			h := r.Histogram("hot_seconds", "", LatencyBuckets)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1e4)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	snap := r.Snapshot()
+	total := snap[`hot_total{w="0"}`] + snap[`hot_total{w="1"}`]
+	if total != workers*iters {
+		t.Fatalf("counter total = %v, want %d", total, workers*iters)
+	}
+	if snap["hot_seconds_count"] != workers*iters {
+		t.Fatalf("histogram count = %v, want %d", snap["hot_seconds_count"], workers*iters)
+	}
+	if snap["hot_gauge"] != workers*iters {
+		t.Fatalf("gauge = %v, want %d", snap["hot_gauge"], workers*iters)
+	}
+}

@@ -2,6 +2,7 @@ package xquery
 
 import (
 	stdctx "context"
+	"time"
 
 	"mhxquery/internal/core"
 )
@@ -234,6 +235,52 @@ func (q *Query) Explain(d *core.Document, vars map[string]Seq, r Resolver) (Seq,
 		return nil, nil, err
 	}
 	return seq, pl.render(counts), nil
+}
+
+// evalAnalyze is eval with per-operator wall-time instrumentation
+// enabled; it returns the result alongside the total evaluation wall
+// time. Timing rides on the same explain slots as cardinality
+// accounting, so the uninstrumented hot path stays untouched.
+func (pl *Plan) evalAnalyze(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver, counts []opCard) (Seq, time.Duration, error) {
+	c := pl.newEvalContext(ctx, d, vars, r, counts)
+	c.st.timed = true
+	start := time.Now()
+	var seq Seq
+	var err error
+	if debugNaiveSteps {
+		seq, err = pl.q.body.eval(c)
+	} else {
+		seq, err = pEval(pl.prog, c)
+	}
+	return seq, time.Since(start), err
+}
+
+// ExplainAnalyze is Explain upgraded to a true EXPLAIN ANALYZE: the
+// query actually runs, and the returned operator tree carries observed
+// per-operator wall time (ExplainOp.Nanos, inclusive of children) in
+// addition to the observed cardinalities. The root's Nanos is the total
+// query wall time.
+func (q *Query) ExplainAnalyze(d *core.Document, vars map[string]Seq, r Resolver) (Seq, *ExplainOp, error) {
+	return q.ExplainAnalyzeContext(nil, d, vars, r)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a cancellation context.
+func (q *Query) ExplainAnalyzeContext(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver) (Seq, *ExplainOp, error) {
+	pl := q.PlanFor(d)
+	return pl.ExplainAnalyze(ctx, d, vars, r)
+}
+
+// ExplainAnalyze runs the plan with timing instrumentation and returns
+// the result plus the analyzed operator tree. See Query.ExplainAnalyze.
+func (pl *Plan) ExplainAnalyze(ctx stdctx.Context, d *core.Document, vars map[string]Seq, r Resolver) (Seq, *ExplainOp, error) {
+	counts := make([]opCard, pl.nOps)
+	seq, total, err := pl.evalAnalyze(ctx, d, vars, r, counts)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := pl.render(counts)
+	root.Nanos = int64(total)
+	return seq, root, nil
 }
 
 // StreamExplain is Stream with per-operator instrumentation: the

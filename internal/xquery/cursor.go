@@ -1,6 +1,10 @@
 package xquery
 
-import "mhxquery/internal/dom"
+import (
+	"time"
+
+	"mhxquery/internal/dom"
+)
 
 // This file defines the pull-based execution primitives of the cursor
 // engine: the cursor interface every physical operator streams items
@@ -99,7 +103,10 @@ func drainBool(cur cursor) (bool, error) {
 
 // countingCursor counts items through an explain slot: out_rows grows
 // per emitted item, so a partially drained (limit-stopped) evaluation
-// records exactly how many items each operator produced.
+// records exactly how many items each operator produced. Under EXPLAIN
+// ANALYZE (st.timed) each pull is also timed; the recorded time is
+// inclusive of upstream work, since pulling this cursor pulls its
+// producers.
 type countingCursor struct {
 	inner cursor
 	st    *evalState
@@ -107,6 +114,15 @@ type countingCursor struct {
 }
 
 func (cc *countingCursor) next() (Item, bool, error) {
+	if cc.st.timed {
+		start := time.Now()
+		it, ok, err := cc.inner.next()
+		cc.st.explain[cc.id].nanos += int64(time.Since(start))
+		if ok {
+			cc.st.explain[cc.id].out++
+		}
+		return it, ok, err
+	}
 	it, ok, err := cc.inner.next()
 	if ok && cc.st.explain != nil {
 		cc.st.explain[cc.id].out++
@@ -122,6 +138,24 @@ func counted(st *evalState, id int, cur cursor) cursor {
 	}
 	st.explain[id].calls++
 	return &countingCursor{inner: cur, st: st, id: id}
+}
+
+// opTimerCursor adds wall time to a path operator's explain slot under
+// EXPLAIN ANALYZE. The step cursors (stepcursor.go) already record
+// calls/in/out at their natural accounting points; timing lives in this
+// separate wrapper so the hot cursor loops never touch the clock when
+// instrumentation is off. Times are inclusive of upstream operators.
+type opTimerCursor struct {
+	inner cursor
+	st    *evalState
+	id    int
+}
+
+func (tc *opTimerCursor) next() (Item, bool, error) {
+	start := time.Now()
+	it, ok, err := tc.inner.next()
+	tc.st.explain[tc.id].nanos += int64(time.Since(start))
+	return it, ok, err
 }
 
 // concatCursor streams the concatenation of lazily opened sub-cursors.

@@ -3,6 +3,7 @@ package xquery
 import (
 	"math"
 	"sort"
+	"time"
 )
 
 // This file is the physical expression layer of the cursor engine.
@@ -57,7 +58,14 @@ func popen(n pnode, c *context) cursor {
 func pEval(n pnode, c *context) (Seq, error) {
 	if c.st.explain != nil && n.pid() >= 0 {
 		c.st.explain[n.pid()].calls++
+		var start time.Time
+		if c.st.timed {
+			start = time.Now()
+		}
 		s, err := n.eval(c)
+		if c.st.timed {
+			c.st.explain[n.pid()].nanos += int64(time.Since(start))
+		}
 		if err == nil {
 			c.st.explain[n.pid()].out += int64(len(s))
 		}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"mhxquery/internal/core"
 	"mhxquery/internal/dom"
@@ -648,9 +649,13 @@ func visitChildren(e expr, visit func(expr)) {
 // ---- strict path execution -------------------------------------------------
 
 // opCard is one operator's observed cardinalities during an
-// instrumented (Explain) evaluation.
+// instrumented (Explain) evaluation. nanos accrues observed wall time
+// only under EXPLAIN ANALYZE (evalState.timed); it is inclusive — an
+// operator's time contains the time of the operators it pulled from —
+// matching the convention of PostgreSQL's "actual time".
 type opCard struct {
 	calls, in, out int64
+	nanos          int64
 }
 
 // pPath is the lowered path expression: the operator list plus the
@@ -683,6 +688,10 @@ func (p *pPath) eval(c *context) (Seq, error) {
 	}
 	for _, op := range p.ops {
 		in := int64(len(cur))
+		var start time.Time
+		if c.st.timed {
+			start = time.Now()
+		}
 		var err error
 		cur, err = evalOpStrict(c, cur, op)
 		if err != nil {
@@ -692,6 +701,9 @@ func (p *pPath) eval(c *context) (Seq, error) {
 			ex[op.id].calls++
 			ex[op.id].in += in
 			ex[op.id].out += int64(len(cur))
+			if c.st.timed {
+				ex[op.id].nanos += int64(time.Since(start))
+			}
 		}
 	}
 	return cur, nil
@@ -956,12 +968,17 @@ func evalChainSteps(c *context, cur Seq, chain []*step) (Seq, error) {
 // OutRows result items in total). The tree covers the whole lowered
 // query — FLWOR clauses, predicates, function calls — not only paths.
 type ExplainOp struct {
-	Op       string       `json:"op"`
-	Detail   string       `json:"detail,omitempty"`
-	Index    bool         `json:"index"`
-	Calls    int64        `json:"calls,omitempty"`
-	InRows   int64        `json:"in_rows,omitempty"`
-	OutRows  int64        `json:"out_rows,omitempty"`
+	Op      string `json:"op"`
+	Detail  string `json:"detail,omitempty"`
+	Index   bool   `json:"index"`
+	Calls   int64  `json:"calls,omitempty"`
+	InRows  int64  `json:"in_rows,omitempty"`
+	OutRows int64  `json:"out_rows,omitempty"`
+	// Nanos is the operator's observed wall time under EXPLAIN ANALYZE
+	// (zero under plain EXPLAIN). Times are inclusive: an operator's
+	// Nanos contains the time of the operators it pulled from. At the
+	// root it is the total query wall time.
+	Nanos    int64        `json:"nanos,omitempty"`
 	Children []*ExplainOp `json:"children,omitempty"`
 }
 
@@ -985,6 +1002,7 @@ func renderExplain(n *explainNode, counts []opCard) *ExplainOp {
 	if n.id >= 0 && n.id < len(counts) {
 		cd := counts[n.id]
 		out.Calls, out.InRows, out.OutRows = cd.calls, cd.in, cd.out
+		out.Nanos = cd.nanos
 	}
 	for _, k := range n.kids {
 		out.Children = append(out.Children, renderExplain(k, counts))

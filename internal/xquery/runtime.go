@@ -33,9 +33,13 @@ type evalState struct {
 
 	// plan is the physical plan driving this evaluation (nil under
 	// debugNaiveSteps); explain, when non-nil, collects per-operator
-	// cardinalities for EXPLAIN output.
+	// cardinalities for EXPLAIN output. timed additionally records
+	// per-operator wall time (EXPLAIN ANALYZE); it is only consulted
+	// when explain is non-nil, so uninstrumented evaluations pay
+	// nothing for it.
 	plan    *Plan
 	explain []opCard
+	timed   bool
 
 	// ctx cancels the evaluation (deadline or client disconnect); it is
 	// polled every cancelStride items at the engine's chokepoints. nil

@@ -76,6 +76,11 @@ func (p *pPath) open(c *context) cursor {
 	}
 	for _, op := range p.ops {
 		src = newOpCursor(c, src, op)
+		// Under EXPLAIN ANALYZE, time each operator at the pipeline
+		// seam; the op cursors keep their own calls/in/out accounting.
+		if c.st.timed && c.st.explain != nil {
+			src = &opTimerCursor{inner: src, st: c.st, id: op.id}
+		}
 	}
 	return src
 }

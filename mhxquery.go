@@ -337,13 +337,27 @@ func (d *Document) Explain(src string) (Sequence, *PlanOp, error) {
 	return q.Explain(d)
 }
 
+// ExplainAnalyze is Explain upgraded to a true EXPLAIN ANALYZE: the
+// query runs with wall-time instrumentation and each operator of the
+// returned tree carries its observed time (PlanOp.Nanos, inclusive of
+// children); the root's Nanos is the total query wall time.
+func (d *Document) ExplainAnalyze(src string) (Sequence, *PlanOp, error) {
+	q, err := Compile(src)
+	if err != nil {
+		return Sequence{}, nil, err
+	}
+	return q.ExplainAnalyze(d)
+}
+
 // PlanOp is one node of the physical operator tree Explain returns.
 // Op is the operator ("query", "path", "index-scan", "chain-scan",
 // "axis-step", "primary"), Detail the rendered step, Index whether the
 // operator reads the structural name index. Calls, InRows and OutRows
 // are the cardinalities observed during the instrumented evaluation:
 // how often the operator ran, and how many context items it consumed
-// and result items it emitted in total.
+// and result items it emitted in total. Nanos is the observed wall
+// time under ExplainAnalyze (zero under plain Explain), inclusive of
+// the operator's children.
 type PlanOp struct {
 	Op       string    `json:"op"`
 	Detail   string    `json:"detail,omitempty"`
@@ -351,6 +365,7 @@ type PlanOp struct {
 	Calls    int64     `json:"calls,omitempty"`
 	InRows   int64     `json:"in_rows,omitempty"`
 	OutRows  int64     `json:"out_rows,omitempty"`
+	Nanos    int64     `json:"nanos,omitempty"`
 	Children []*PlanOp `json:"children,omitempty"`
 }
 
@@ -361,6 +376,7 @@ func planOpFrom(e *xquery.ExplainOp) *PlanOp {
 	out := &PlanOp{
 		Op: e.Op, Detail: e.Detail, Index: e.Index,
 		Calls: e.Calls, InRows: e.InRows, OutRows: e.OutRows,
+		Nanos: e.Nanos,
 	}
 	for _, k := range e.Children {
 		out.Children = append(out.Children, planOpFrom(k))
@@ -400,6 +416,17 @@ func (q *Query) Source() string { return q.q.Source() }
 // Document.Explain).
 func (q *Query) Explain(d *Document) (Sequence, *PlanOp, error) {
 	s, tree, err := q.q.Explain(d.g, nil, nil)
+	if err != nil {
+		return Sequence{}, nil, err
+	}
+	return Sequence{s: s, d: d.g}, planOpFrom(tree), nil
+}
+
+// ExplainAnalyze evaluates the query with cardinality and wall-time
+// instrumentation, returning the result and the analyzed operator tree
+// (see Document.ExplainAnalyze).
+func (q *Query) ExplainAnalyze(d *Document) (Sequence, *PlanOp, error) {
+	s, tree, err := q.q.ExplainAnalyze(d.g, nil, nil)
 	if err != nil {
 		return Sequence{}, nil, err
 	}

@@ -60,4 +60,12 @@ END {
 	printf "}\n"
 }' "$TMP" >"$OUT"
 
+# Engine-health numbers next to the latency numbers: a fixed query
+# burst (scripts/metricsprobe) reports plan/compile cache hit rates and
+# name-index build counts from the metrics registry, merged into the
+# JSON under "_metrics" so cache regressions are diffable in git too.
+METRICS=$(go run ./scripts/metricsprobe)
+awk -v metrics="$METRICS" 'NR == 1 { print; printf "  \"_metrics\": %s,\n", metrics; next } { print }' \
+	"$OUT" >"$TMP" && cp "$TMP" "$OUT"
+
 echo "wrote $OUT"

@@ -1,0 +1,84 @@
+// Command metricsprobe drives a fixed query burst against a small
+// collection and prints one JSON object of engine-health numbers —
+// plan/compile cache hit rates and structural name-index build counts
+// — read from the collection's metrics registry. scripts/bench.sh
+// merges the object into BENCH_eval.json (under "_metrics") so cache
+// effectiveness is tracked in git next to the latency numbers: a
+// planner or cache regression shows up as a hit-rate drop even when
+// ns/op stays flat.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"mhxquery"
+	"mhxquery/internal/corpus"
+)
+
+// The burst mirrors how the caches are exercised in production: a
+// fixed set of queries fanned out repeatedly, so the first round
+// misses and every later round hits.
+const rounds = 8
+
+var queries = []string{
+	`count(/descendant::w)`,
+	`for $w in /descendant::w[overlapping::line] return string($w)`,
+	`//w[@rend]`,
+	`for $l in /descendant::line return count($l/xdescendant::w)`,
+}
+
+func main() {
+	coll := mhxquery.NewCollection(mhxquery.CollectionOptions{Workers: 4})
+	xml := corpus.BoethiusXML()
+	names := make([]string, 0, len(xml))
+	for name := range xml {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Four copies of the fixture so the fan-out pool has real work.
+	for i := 0; i < 4; i++ {
+		var hs []mhxquery.Hierarchy
+		for _, name := range names {
+			hs = append(hs, mhxquery.Hierarchy{Name: name, XML: xml[name]})
+		}
+		doc, err := mhxquery.Parse(hs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := coll.Put(fmt.Sprintf("boethius%d", i), doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			if _, err := coll.QueryAll(q); err != nil {
+				log.Fatalf("%s: %v", q, err)
+			}
+		}
+	}
+
+	snap := coll.Metrics().Snapshot()
+	rate := func(cache string) float64 {
+		hit := snap[`mhx_cache_requests_total{cache="`+cache+`",result="hit"}`]
+		miss := snap[`mhx_cache_requests_total{cache="`+cache+`",result="miss"}`]
+		if hit+miss == 0 {
+			return 0
+		}
+		return hit / (hit + miss)
+	}
+	out := map[string]any{
+		"plan_cache_hit_rate":    rate("plan"),
+		"compile_cache_hit_rate": rate("compile"),
+		"nameindex_builds":       snap["mhx_nameindex_builds_total"],
+		"queries_evaluated":      snap["mhx_query_seconds_count"],
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
