@@ -15,9 +15,17 @@
 //	curl -o cpu.out 'http://localhost:6060/debug/pprof/profile?seconds=10'
 //	go tool pprof cpu.out
 //
-// With -dir the corpus directory is loaded at startup and every ingest
-// writes through to it (one compact binary image per document), so a
-// restart recovers the full corpus. With -boethius the paper's Figure 1
+// With -dir the corpus directory is loaded at startup and kept durable
+// with a per-collection write-ahead log: updates append to wal.log and
+// are fsynced (group commit, bounded by -wal-flush) before the HTTP
+// response acknowledges them, while whole document images are written
+// in the background (every -snapshot-every updates or -snapshot-bytes
+// logged bytes per document). A restart replays the log, so every
+// acknowledged update survives a crash; -write-through restores the
+// pre-WAL behavior of persisting a full image synchronously on each
+// update. The collection opens (and replays) in the background:
+// /readyz answers 503 {"status":"recovering"} and collection endpoints
+// 503 until replay finishes. With -boethius the paper's Figure 1
 // fixture is preloaded under the name "boethius".
 //
 // Endpoints (all JSON unless noted):
@@ -110,14 +118,21 @@ func main() {
 	maxBody := flag.Int64("max-body", maxBodyBytes, "maximum request body size in bytes")
 	slowQuery := flag.Duration("slow-query", 0, "log single-document queries slower than this with their analyzed plan (0 = disabled; enabling runs doc queries instrumented)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
+	walFlush := flag.Duration("wal-flush", 0, "WAL group-commit window: extra latency a commit may wait to share an fsync with its neighbors (0 = flush immediately)")
+	snapEvery := flag.Int("snapshot-every", 0, "write a background document snapshot after this many logged updates (0 = default 256, negative = never)")
+	snapBytes := flag.Int64("snapshot-bytes", 0, "write a background document snapshot after this many logged bytes (0 = default 4MiB, negative = never)")
+	writeThrough := flag.Bool("write-through", false, "disable the write-ahead log and persist a full document image synchronously on every update")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
-	coll, err := openCollection(*dir, *workers, *cache, *boethius)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mhserve:", err)
-		os.Exit(1)
+	opts := mhxquery.CollectionOptions{
+		Workers:       *workers,
+		CacheSize:     *cache,
+		WriteThrough:  *writeThrough,
+		FlushWindow:   *walFlush,
+		SnapshotEvery: *snapEvery,
+		SnapshotBytes: *snapBytes,
 	}
 	if *pprofAddr != "" {
 		// The profiling handlers get a private mux registered explicitly,
@@ -136,7 +151,7 @@ func main() {
 			}
 		}()
 	}
-	s := &server{coll: coll, timeout: *timeout, maxBody: *maxBody, slow: *slowQuery, logger: logger}
+	s := &server{timeout: *timeout, maxBody: *maxBody, slow: *slowQuery, logger: logger}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: s.routes(),
@@ -147,7 +162,7 @@ func main() {
 		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("mhserve: listening on %s (%d documents)", *addr, coll.Len())
+	log.Printf("mhserve: listening on %s", *addr)
 
 	// Serve until SIGINT/SIGTERM, then drain: /readyz flips to 503 so
 	// load balancers stop sending work, Shutdown lets in-flight requests
@@ -155,7 +170,32 @@ func main() {
 	// exit (previously it died mid-request).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
+	// The collection opens (and replays its write-ahead log) in the
+	// background so the listener binds immediately; /readyz flips from
+	// 503 {"status":"recovering"} to 200 once replay finishes. An open
+	// failure is fatal, surfaced through the same error channel as the
+	// listener's.
+	go func() {
+		start := time.Now()
+		coll, err := openCollection(*dir, opts, *boethius)
+		if err != nil {
+			errc <- fmt.Errorf("opening collection: %w", err)
+			return
+		}
+		s.coll = coll
+		s.ready.Store(true)
+		rec := coll.Recovery()
+		logger.Info("collection ready",
+			"docs", coll.Len(),
+			"elapsed", time.Since(start).String(),
+			"snapshots_loaded", rec.Snapshots,
+			"wal_replayed", rec.Replayed,
+			"wal_skipped", rec.Skipped,
+			"wal_tombstones", rec.Tombstones,
+			"wal_torn_tail_bytes", rec.TornTailBytes,
+			"checkpointed_docs", rec.CheckpointDocs)
+	}()
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
 	case err := <-errc:
@@ -177,8 +217,7 @@ func main() {
 	}
 }
 
-func openCollection(dir string, workers, cache int, boethius bool) (*mhxquery.Collection, error) {
-	opts := mhxquery.CollectionOptions{Workers: workers, CacheSize: cache}
+func openCollection(dir string, opts mhxquery.CollectionOptions, boethius bool) (*mhxquery.Collection, error) {
 	var (
 		coll *mhxquery.Collection
 		err  error
@@ -229,6 +268,11 @@ type server struct {
 	// draining flips once graceful shutdown begins; /readyz then serves
 	// 503 while in-flight requests finish.
 	draining atomic.Bool
+	// ready flips once the collection has finished opening (write-ahead
+	// log replay included). Until then coll is nil: /readyz reports
+	// "recovering" and every collection endpoint answers 503. The
+	// atomic store publishes the coll write that precedes it.
+	ready atomic.Bool
 }
 
 func (s *server) routes() http.Handler {
@@ -237,6 +281,11 @@ func (s *server) routes() http.Handler {
 	}
 	if s.httpM == nil {
 		s.httpM = newHTTPMetrics()
+	}
+	if s.coll != nil {
+		// Constructed with the collection already open (tests, embedders):
+		// no recovery phase to wait out.
+		s.ready.Store(true)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -249,7 +298,20 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("PATCH /docs/{name}", s.handlePatchDoc)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /update", s.handleUpdate)
-	return s.withObs(mux)
+	return s.withObs(s.gate(mux))
+}
+
+// gate refuses collection endpoints with 503 while the collection is
+// still opening (write-ahead log replay). /healthz and /readyz pass
+// through: their handlers report the recovering state themselves.
+func (s *server) gate(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+			writeError(w, http.StatusServiceUnavailable, "recovering: write-ahead log replay in progress")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // ---- JSON wire types -------------------------------------------------------
@@ -337,6 +399,12 @@ func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 // ---- handlers --------------------------------------------------------------
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		// Alive but still replaying the write-ahead log: liveness holds,
+		// readiness (readyz) does not.
+		writeJSON(w, http.StatusOK, map[string]any{"status": "recovering"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "docs": s.coll.Len()})
 }
 

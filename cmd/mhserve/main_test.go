@@ -32,7 +32,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 // assertions). Request logs go to io.Discard to keep test output quiet.
 func newTestServerWith(t *testing.T, slow time.Duration) (*httptest.Server, *server) {
 	t.Helper()
-	coll, err := openCollection("", 0, 0, false)
+	coll, err := openCollection("", mhxquery.CollectionOptions{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestServerErrors(t *testing.T) {
 
 func TestServerPersistence(t *testing.T) {
 	dir := t.TempDir()
-	coll, err := openCollection(dir, 0, 0, true)
+	coll, err := openCollection(dir, mhxquery.CollectionOptions{}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestServerPersistence(t *testing.T) {
 	coll.Close()
 
 	// A second server over the same directory recovers the corpus.
-	coll2, err := openCollection(dir, 0, 0, false)
+	coll2, err := openCollection(dir, mhxquery.CollectionOptions{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -481,7 +481,7 @@ func TestServerQueryLimit(t *testing.T) {
 // TestServerQueryBodyTooLarge exercises the MaxBytesReader cap on
 // /query bodies.
 func TestServerQueryBodyTooLarge(t *testing.T) {
-	coll, err := openCollection("", 0, 0, false)
+	coll, err := openCollection("", mhxquery.CollectionOptions{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,7 +500,7 @@ func TestServerQueryBodyTooLarge(t *testing.T) {
 // an effectively unbounded query must be cut off with 504, not pin the
 // handler.
 func TestServerQueryTimeout(t *testing.T) {
-	coll, err := openCollection("", 0, 0, false)
+	coll, err := openCollection("", mhxquery.CollectionOptions{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -565,7 +565,7 @@ func TestServerStreamErrorsBeforeBody(t *testing.T) {
 
 func TestServerUpdate(t *testing.T) {
 	dir := t.TempDir()
-	coll, err := openCollection(dir, 0, 0, true)
+	coll, err := openCollection(dir, mhxquery.CollectionOptions{}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -626,7 +626,7 @@ func TestServerUpdate(t *testing.T) {
 	// directory sees the renamed hierarchy content.
 	ts.Close()
 	coll.Close()
-	coll2, err := openCollection(dir, 0, 0, false)
+	coll2, err := openCollection(dir, mhxquery.CollectionOptions{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}

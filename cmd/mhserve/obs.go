@@ -156,10 +156,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.httpM.reg.WritePrometheus(w)
 }
 
-// handleReadyz reports readiness: 200 while serving, 503 once the
-// server starts draining (graceful shutdown), so load balancers stop
-// routing new work while in-flight requests finish.
+// handleReadyz reports readiness: 503 while the collection is still
+// opening (write-ahead log replay after a restart or crash), 200 while
+// serving, 503 again once the server starts draining (graceful
+// shutdown), so load balancers route work only to a replayed,
+// non-draining process.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+		return
+	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return

@@ -203,7 +203,7 @@ func TestAnalyzeParam(t *testing.T) {
 // trace ID, the query and the analyzed plan.
 func TestSlowQueryLog(t *testing.T) {
 	var buf syncBuffer
-	coll, err := openCollection("", 0, 0, false)
+	coll, err := openCollection("", mhxquery.CollectionOptions{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,6 +284,46 @@ func TestReadyzDrain(t *testing.T) {
 	// Liveness is unaffected by draining.
 	if code := do(t, http.MethodGet, ts.URL+"/healthz", nil, &body); code != http.StatusOK {
 		t.Fatalf("healthz while draining: status %d", code)
+	}
+}
+
+// TestReadyzRecovering checks the startup side of readiness: while the
+// collection is still opening (WAL replay), /readyz and collection
+// endpoints answer 503 and /healthz stays alive; once the collection
+// is published everything flips to serving.
+func TestReadyzRecovering(t *testing.T) {
+	s := &server{logger: discardLogger()} // coll nil: still recovering
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+
+	var body map[string]any
+	if code := do(t, http.MethodGet, ts.URL+"/readyz", nil, &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while recovering: status %d", code)
+	}
+	if body["status"] != "recovering" {
+		t.Errorf("readyz body = %v", body)
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/docs", nil, &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /docs while recovering: status %d", code)
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/healthz", nil, &body); code != http.StatusOK {
+		t.Fatalf("healthz while recovering: status %d", code)
+	}
+	if body["status"] != "recovering" {
+		t.Errorf("healthz body = %v", body)
+	}
+
+	coll, err := openCollection("", mhxquery.CollectionOptions{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.coll = coll
+	s.ready.Store(true)
+	if code := do(t, http.MethodGet, ts.URL+"/readyz", nil, &body); code != http.StatusOK {
+		t.Fatalf("readyz after recovery: status %d", code)
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/docs", nil, &body); code != http.StatusOK {
+		t.Fatalf("GET /docs after recovery: status %d", code)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"mhxquery/internal/collection"
 	"mhxquery/internal/obs"
@@ -31,7 +32,9 @@ type Collection struct {
 }
 
 // CollectionOptions configures a Collection. The zero value is valid:
-// GOMAXPROCS fan-out workers and a 128-entry compiled-query cache.
+// GOMAXPROCS fan-out workers, a 128-entry compiled-query cache, and
+// (for persistent collections) the WAL-durable write path with default
+// snapshot policy.
 type CollectionOptions struct {
 	// Workers bounds the QueryAll worker pool; 0 means GOMAXPROCS,
 	// 1 evaluates sequentially.
@@ -39,7 +42,27 @@ type CollectionOptions struct {
 	// CacheSize is the compiled-query LRU capacity in entries;
 	// 0 means 128, negative disables caching.
 	CacheSize int
+
+	// WriteThrough reverts a persistent collection to the pre-WAL write
+	// path (every update re-encodes the whole document image before
+	// acknowledging). Durable but O(document) per commit.
+	WriteThrough bool
+	// FlushWindow bounds the extra latency the WAL group-commit writer
+	// may add waiting for concurrent commits to share one fsync;
+	// 0 fsyncs immediately (concurrent commits still batch).
+	FlushWindow time.Duration
+	// SnapshotEvery re-snapshots a document image after this many
+	// logged updates (0 means 256, negative disables).
+	SnapshotEvery int
+	// SnapshotBytes re-snapshots after this many logged bytes per
+	// document (0 means 4 MiB, negative disables).
+	SnapshotBytes int64
 }
+
+// RecoveryStats reports what OpenCollection had to do to bring a
+// durable collection back (zero for memory-only and write-through
+// collections).
+type RecoveryStats = collection.RecoveryStats
 
 // NewCollection returns an empty in-memory collection.
 func NewCollection(opts CollectionOptions) *Collection {
@@ -48,14 +71,29 @@ func NewCollection(opts CollectionOptions) *Collection {
 
 // OpenCollection returns a collection persisted under dir: the
 // directory is created if needed, every document image (*.mhxg) in it
-// is loaded, and subsequent Put calls write through to it.
+// is loaded, and — unless WriteThrough is set — the write-ahead log is
+// replayed over the snapshots (crash recovery; see Recovery for what
+// that took). Subsequent updates commit through the log with group-
+// committed fsyncs and background snapshotting.
 func OpenCollection(dir string, opts CollectionOptions) (*Collection, error) {
-	c, err := collection.Open(dir, collection.Options{Workers: opts.Workers, CacheSize: opts.CacheSize})
+	c, err := collection.Open(dir, collection.Options{
+		Workers:       opts.Workers,
+		CacheSize:     opts.CacheSize,
+		WriteThrough:  opts.WriteThrough,
+		FlushWindow:   opts.FlushWindow,
+		SnapshotEvery: opts.SnapshotEvery,
+		SnapshotBytes: opts.SnapshotBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &Collection{c: c}, nil
 }
+
+// Recovery returns what OpenCollection replayed from the write-ahead
+// log: snapshots loaded, records re-applied or skipped, tombstones,
+// torn-tail bytes tolerated, and the wall time recovery took.
+func (c *Collection) Recovery() RecoveryStats { return c.c.Recovery() }
 
 // Put registers doc under name, replacing any previous document of
 // that name and writing through to the backing directory if there is
@@ -161,6 +199,12 @@ func (m Metrics) WritePrometheus(w io.Writer) error { return m.r.WritePrometheus
 // Snapshot flattens every scalar metric into a map keyed by
 // "name{labels}"; histograms contribute "_count" and "_sum" entries.
 func (m Metrics) Snapshot() map[string]float64 { return m.r.Snapshot() }
+
+// Quantile estimates the q-quantile of the unlabeled histogram metric
+// registered under name (e.g. "mhx_wal_fsync_seconds") by bucket
+// interpolation. The bool is false when no such histogram exists or
+// nothing has been observed.
+func (m Metrics) Quantile(name string, q float64) (float64, bool) { return m.r.Quantile(name, q) }
 
 // Metrics returns the collection's metrics.
 func (c *Collection) Metrics() Metrics { return Metrics{r: c.c.Metrics()} }

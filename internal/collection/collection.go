@@ -14,7 +14,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"path"
 	"path/filepath"
 	"regexp"
@@ -22,10 +21,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mhxquery/internal/core"
 	"mhxquery/internal/store"
+	"mhxquery/internal/wal"
 	"mhxquery/internal/xquery"
 )
 
@@ -52,6 +53,27 @@ type Options struct {
 	// CacheSize is the capacity of the compiled-query LRU cache in
 	// entries. 0 means a default of 128; negative disables caching.
 	CacheSize int
+
+	// WriteThrough reverts a persistent collection to the pre-WAL write
+	// path: every update re-encodes and renames the whole image before
+	// acknowledging. Durable but O(document) per commit; kept for
+	// comparison benchmarks and as an escape hatch.
+	WriteThrough bool
+	// FlushWindow is the WAL group-commit window: how long the log
+	// writer waits after the first commit of a batch for more to pile
+	// in. 0 fsyncs immediately (concurrent commits still batch).
+	FlushWindow time.Duration
+	// SnapshotEvery re-snapshots a document after this many logged
+	// updates (0 means 256; negative disables count-triggered
+	// snapshots).
+	SnapshotEvery int
+	// SnapshotBytes re-snapshots a document after this many logged
+	// update-source bytes (0 means 4 MiB; negative disables).
+	SnapshotBytes int64
+	// FS overrides the filesystem the durable write path runs on. nil
+	// means the real OS; tests inject wal.CrashFS for fault injection
+	// and power-loss simulation.
+	FS wal.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +82,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheSize == 0 {
 		o.CacheSize = 128
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 256
+	}
+	if o.SnapshotBytes == 0 {
+		o.SnapshotBytes = 4 << 20
+	}
+	if o.SnapshotEvery < 0 {
+		o.SnapshotEvery = int(^uint(0) >> 1)
+	}
+	if o.SnapshotBytes < 0 {
+		o.SnapshotBytes = int64(^uint64(0) >> 1)
+	}
+	if o.FS == nil {
+		o.FS = wal.OS
 	}
 	return o
 }
@@ -91,6 +128,25 @@ type Collection struct {
 	// registry lock, then publishes the new version through Put.
 	// Readers are never blocked — they keep their snapshot.
 	updateMu sync.Mutex
+
+	// Durable write path (nil/zero for memory-only and write-through
+	// collections; see durable.go).
+	fs        wal.FS
+	wal       *wal.Log
+	snapEvery int
+	snapBytes int64
+	recovery  RecoveryStats
+	tmpSeq    atomic.Uint64 // temp-file name uniquifier
+
+	// Guarded by mu: per-document snapshot lag and the highest log
+	// sequence published in memory.
+	logState    map[string]*docState
+	snapPending map[string]bool
+	pubSeq      uint64
+
+	snapKick chan struct{}
+	snapStop chan struct{}
+	snapDone chan struct{}
 }
 
 // New returns an empty memory-only collection.
@@ -108,48 +164,69 @@ func New(opts Options) *Collection {
 		cache:   cache,
 		plans:   plans,
 		docs:    map[string]*core.Document{},
+		fs:      wal.OS,
 	}
 	c.metrics = newCollMetrics(c)
 	return c
 }
 
 // Open returns a collection persisted under dir, creating the directory
-// if needed and loading every *.mhxg image found there. Subsequent Put
-// calls write through to dir.
+// if needed and loading every *.mhxg image found there. Unless
+// Options.WriteThrough is set, updates are made durable through a
+// write-ahead log (durable.go): Open replays any log records not yet
+// covered by the document snapshots — crash recovery — and Recovery
+// reports what that took. Subsequent Put calls write through to dir.
 func Open(dir string, opts Options) (*Collection, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	fs := opts.FS
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("collection: %w", err)
 	}
 	c := New(opts)
 	c.dir = dir
-	entries, err := os.ReadDir(dir)
+	c.fs = fs
+	c.snapEvery = opts.SnapshotEvery
+	c.snapBytes = opts.SnapshotBytes
+	c.logState = map[string]*docState{}
+	c.snapPending = map[string]bool{}
+	names, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("collection: %w", err)
 	}
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
-			// Leftover from a crash mid-Put: the rename never happened,
+	for _, fname := range names {
+		if strings.HasSuffix(fname, ".tmp") {
+			// Leftover from a crash mid-write: the rename never happened,
 			// so the temp file is unpublished garbage.
-			os.Remove(filepath.Join(dir, e.Name()))
+			fs.Remove(filepath.Join(dir, fname))
 			continue
 		}
-		if e.IsDir() || !strings.HasSuffix(e.Name(), imageExt) {
+		if !strings.HasSuffix(fname, imageExt) {
 			continue
 		}
-		name := strings.TrimSuffix(e.Name(), imageExt)
+		name := strings.TrimSuffix(fname, imageExt)
 		if !nameRE.MatchString(name) {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
+		f, err := fs.Open(filepath.Join(dir, fname))
 		if err != nil {
 			return nil, fmt.Errorf("collection: %w", err)
 		}
-		d, err := store.Decode(f)
+		d, snapSeq, err := store.DecodeSnapshot(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("collection: loading %q: %w", e.Name(), err)
+			// Snapshot corruption is not recoverable from here (the log
+			// only holds deltas against it): fail loudly, never serve a
+			// silently damaged corpus.
+			return nil, fmt.Errorf("collection: loading %q: %w", fname, err)
 		}
 		c.docs[name] = d
+		c.logState[name] = &docState{lastSeq: snapSeq, snapSeq: snapSeq}
+	}
+	if opts.WriteThrough {
+		return c, nil
+	}
+	if err := c.recover(opts); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -183,9 +260,12 @@ func (c *Collection) Put(name string, d *core.Document) (replaced bool, err erro
 	if d == nil {
 		return false, fmt.Errorf("collection: nil document")
 	}
+	if c.wal != nil {
+		return c.putDurable(name, d)
+	}
 	tmpName := ""
 	if c.dir != "" {
-		if tmpName, err = c.encodeTemp(name, d); err != nil {
+		if tmpName, err = c.encodeTemp(name, d, 0); err != nil {
 			return false, err
 		}
 	}
@@ -193,13 +273,18 @@ func (c *Collection) Put(name string, d *core.Document) (replaced bool, err erro
 	defer c.mu.Unlock()
 	if c.closed {
 		if tmpName != "" {
-			os.Remove(tmpName)
+			c.fs.Remove(tmpName)
 		}
 		return false, fmt.Errorf("collection: closed")
 	}
 	if tmpName != "" {
-		if err := os.Rename(tmpName, filepath.Join(c.dir, name+imageExt)); err != nil {
-			os.Remove(tmpName)
+		if err := c.fs.Rename(tmpName, filepath.Join(c.dir, name+imageExt)); err != nil {
+			c.fs.Remove(tmpName)
+			return false, fmt.Errorf("collection: %w", err)
+		}
+		// The rename orders data, but only a directory fsync makes the
+		// published entry itself survive power loss on ext4.
+		if err := c.fs.SyncDir(c.dir); err != nil {
 			return false, fmt.Errorf("collection: %w", err)
 		}
 	}
@@ -208,15 +293,24 @@ func (c *Collection) Put(name string, d *core.Document) (replaced bool, err erro
 	return replaced, nil
 }
 
-// encodeTemp writes d's image to a temp file in the backing directory
-// and returns its path; the caller publishes it with rename.
-func (c *Collection) encodeTemp(name string, d *core.Document) (string, error) {
-	tmp, err := os.CreateTemp(c.dir, name+".*.tmp")
+// encodeTemp writes d's image (recording snapSeq as its log coverage)
+// to a temp file in the backing directory and returns its path; the
+// caller publishes it with rename.
+func (c *Collection) encodeTemp(name string, d *core.Document, snapSeq uint64) (string, error) {
+	path := filepath.Join(c.dir, fmt.Sprintf("%s.%d.tmp", name, c.tmpSeq.Add(1)))
+	tmp, err := c.fs.Create(path)
 	if err != nil {
 		return "", fmt.Errorf("collection: %w", err)
 	}
-	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
-	if err := store.Encode(tmp, d); err != nil {
+	cleanup := func() { tmp.Close(); c.fs.Remove(path) }
+	// Make the temp entry itself durable: a crash from here on leaves a
+	// visible *.tmp for startup cleanup, not an orphaned invisible
+	// inode.
+	if err := c.fs.SyncDir(c.dir); err != nil {
+		cleanup()
+		return "", fmt.Errorf("collection: %w", err)
+	}
+	if err := store.EncodeSnapshot(tmp, d, snapSeq); err != nil {
 		cleanup()
 		return "", fmt.Errorf("collection: encoding %q: %w", name, err)
 	}
@@ -227,10 +321,10 @@ func (c *Collection) encodeTemp(name string, d *core.Document) (string, error) {
 		return "", fmt.Errorf("collection: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		c.fs.Remove(path)
 		return "", fmt.Errorf("collection: %w", err)
 	}
-	return tmp.Name(), nil
+	return path, nil
 }
 
 // Get returns the document registered under name.
@@ -245,6 +339,9 @@ func (c *Collection) Get(name string) (*core.Document, bool) {
 // persistent collection, from the backing directory. Deleting an
 // unknown name is a no-op.
 func (c *Collection) Delete(name string) error {
+	if c.wal != nil {
+		return c.deleteDurable(name)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	_, ok := c.docs[name]
@@ -252,7 +349,10 @@ func (c *Collection) Delete(name string) error {
 	// The image is removed under the same lock Put writes under, so a
 	// racing Put(name) cannot have its fresh image deleted.
 	if ok && c.dir != "" {
-		if err := os.Remove(filepath.Join(c.dir, name+imageExt)); err != nil && !os.IsNotExist(err) {
+		if err := c.fs.Remove(filepath.Join(c.dir, name+imageExt)); err != nil {
+			return fmt.Errorf("collection: %w", err)
+		}
+		if err := c.fs.SyncDir(c.dir); err != nil {
 			return fmt.Errorf("collection: %w", err)
 		}
 	}
@@ -271,13 +371,20 @@ func (c *Collection) Names() []string {
 	return out
 }
 
-// Close marks the collection closed. Pending readers finish normally;
-// subsequent Put calls fail. There is no other cleanup: images are
-// written through on every Put, so nothing is buffered.
+// Close marks the collection closed and, in WAL mode, flushes the
+// background snapshotter and the log (draining any pending group
+// commit). Pending readers finish normally; subsequent writes fail.
 func (c *Collection) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
+	c.mu.Unlock()
+	if c.wal != nil {
+		return c.closeDurable()
+	}
 	return nil
 }
 
@@ -297,6 +404,9 @@ func (c *Collection) UpdateContext(ctx context.Context, name, src string) (*core
 	u, err := xquery.CompileUpdate(src)
 	if err != nil {
 		return nil, nil, err
+	}
+	if c.wal != nil {
+		return c.updateDurable(ctx, name, src, u)
 	}
 	c.updateMu.Lock()
 	defer c.updateMu.Unlock()

@@ -1,6 +1,7 @@
 package collection
 
 import (
+	"sync/atomic"
 	"time"
 
 	"mhxquery/internal/core"
@@ -22,6 +23,16 @@ import (
 //	mhx_nameindex_builds_total        counter    from-scratch name-index builds (process-wide)
 //	mhx_nameindex_build_seconds_total counter    wall time spent in those builds (process-wide)
 //	mhx_index_maintenance_total       counter    {outcome="patched"|"lazy_rebuild"} update index outcomes (process-wide)
+//	mhx_wal_fsync_seconds             histogram  WAL group-commit write+fsync latency
+//	mhx_wal_commit_batch_records      histogram  commits covered by one fsync batch
+//	mhx_wal_appends_total             counter    records acknowledged by the log
+//	mhx_wal_bytes_total               counter    framed bytes written to the log
+//	mhx_wal_syncs_total               counter    fsync batches
+//	mhx_wal_resets_total              counter    log compactions (snapshot-covered truncations)
+//	mhx_snapshots_total               counter    background document snapshots written
+//	mhx_snapshot_errors_total         counter    failed background snapshots
+//	mhx_recovery_replayed_total       counter    log records re-applied by the last Open
+//	mhx_recovery_torn_bytes           gauge      torn tail truncated by the last Open
 //
 // The name-index families sample process-wide core counters (builds
 // happen lazily inside Hierarchy methods where no registry is in
@@ -33,6 +44,12 @@ type collMetrics struct {
 	updateSeconds *obs.Histogram
 	queueDepth    *obs.Gauge
 	busyWorkers   *obs.Gauge
+
+	fsyncSeconds *obs.Histogram
+	commitBatch  *obs.Histogram
+	snapshots    atomic.Uint64
+	snapshotErrs atomic.Uint64
+	logResets    atomic.Uint64
 }
 
 func newCollMetrics(c *Collection) *collMetrics {
@@ -70,6 +87,35 @@ func newCollMetrics(c *Collection) *collMetrics {
 	reg.CounterFunc("mhx_nameindex_build_seconds_total",
 		"Wall time spent building structural name indexes, in seconds (process-wide).",
 		func() float64 { return float64(core.GlobalIndexStats().BuildNanos) / 1e9 })
+	m.fsyncSeconds = reg.Histogram("mhx_wal_fsync_seconds",
+		"WAL group-commit write+fsync latency in seconds.", obs.LatencyBuckets)
+	m.commitBatch = reg.Histogram("mhx_wal_commit_batch_records",
+		"Commits covered by one WAL fsync batch.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	reg.CounterFunc("mhx_wal_appends_total",
+		"Update/tombstone records acknowledged by the write-ahead log.",
+		func() float64 { return float64(c.WALStats().Appends) })
+	reg.CounterFunc("mhx_wal_bytes_total",
+		"Framed bytes written to the write-ahead log.",
+		func() float64 { return float64(c.WALStats().Bytes) })
+	reg.CounterFunc("mhx_wal_syncs_total",
+		"Write-ahead log fsync batches.",
+		func() float64 { return float64(c.WALStats().Syncs) })
+	reg.CounterFunc("mhx_wal_resets_total",
+		"Write-ahead log compactions: truncations after snapshots covered every record.",
+		func() float64 { return float64(m.logResets.Load()) })
+	reg.CounterFunc("mhx_snapshots_total",
+		"Background document snapshots written.",
+		func() float64 { return float64(m.snapshots.Load()) })
+	reg.CounterFunc("mhx_snapshot_errors_total",
+		"Background document snapshots that failed.",
+		func() float64 { return float64(m.snapshotErrs.Load()) })
+	reg.CounterFunc("mhx_recovery_replayed_total",
+		"Log records re-applied by the last recovery (Open).",
+		func() float64 { return float64(c.recovery.Replayed) })
+	reg.GaugeFunc("mhx_recovery_torn_bytes",
+		"Torn log tail truncated (and tolerated) by the last recovery.",
+		func() float64 { return float64(c.recovery.TornTailBytes) })
 	const maintHelp = "Name-index outcomes of document updates: patched incrementally or discarded for a lazy rebuild (process-wide)."
 	reg.CounterFunc("mhx_index_maintenance_total", maintHelp,
 		func() float64 { return float64(core.GlobalIndexStats().Patched) },
@@ -88,6 +134,13 @@ func (m *collMetrics) observeQuery(start time.Time) {
 // observeUpdate records one update commit latency.
 func (m *collMetrics) observeUpdate(start time.Time) {
 	m.updateSeconds.Observe(time.Since(start).Seconds())
+}
+
+// ObserveCommit implements wal.Observer: one fsync batch of the log
+// writer.
+func (m *collMetrics) ObserveCommit(records, bytes int, latency time.Duration) {
+	m.fsyncSeconds.Observe(latency.Seconds())
+	m.commitBatch.Observe(float64(records))
 }
 
 // Metrics returns the collection's metrics registry, for scraping

@@ -121,6 +121,40 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the q-quantile (clamped to [0, 1]) of the
+// observed distribution by linear interpolation inside the bucket the
+// rank lands in — the same estimate Prometheus's histogram_quantile
+// gives. The bool is false when nothing has been observed. Ranks
+// landing in the +Inf overflow bucket clamp to the highest finite
+// bound.
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	total := h.count.Load()
+	if total == 0 {
+		return 0, false
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.bounds {
+		n := float64(h.counts[i].Load())
+		cum += n
+		if cum >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if n == 0 {
+				return h.bounds[i], true
+			}
+			return lower + (h.bounds[i]-lower)*(rank-(cum-n))/n, true
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0, true
+	}
+	return h.bounds[len(h.bounds)-1], true
+}
+
 // LatencyBuckets is the default upper-bound set for query-latency
 // histograms, in seconds: 10µs up to 10s, roughly 2.5× apart.
 var LatencyBuckets = []float64{
@@ -368,6 +402,25 @@ func joinLabels(labels, extra string) string {
 		return extra
 	}
 	return labels + "," + extra
+}
+
+// Quantile estimates the q-quantile of the unlabeled histogram
+// registered under name (see Histogram.Quantile). The bool is false
+// when no such histogram exists or it has no observations; the
+// registry is not modified either way.
+func (r *Registry) Quantile(name string, q float64) (float64, bool) {
+	r.mu.Lock()
+	var h *Histogram
+	if f := r.fams[name]; f != nil && f.kind == kindHistogram {
+		if ch := f.children[""]; ch != nil {
+			h = ch.h
+		}
+	}
+	r.mu.Unlock()
+	if h == nil {
+		return 0, false
+	}
+	return h.Quantile(q)
 }
 
 // Snapshot flattens every scalar metric into a map keyed by

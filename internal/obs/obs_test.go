@@ -200,3 +200,36 @@ func TestConcurrentUpdatesAndScrapes(t *testing.T) {
 		t.Fatalf("gauge = %v, want %d", snap["hot_gauge"], workers*iters)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "help", []float64{1, 2, 4, 8})
+
+	if _, ok := h.Quantile(0.5); ok {
+		t.Fatal("empty histogram reported a quantile")
+	}
+
+	// 100 observations spread evenly through (0, 4]: 25 per bucket in
+	// the first three, none beyond.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	if v, ok := h.Quantile(0.5); !ok || v < 1.5 || v > 2.5 {
+		t.Fatalf("p50 = %v, %v; want ~2 by interpolation", v, ok)
+	}
+	if v, ok := h.Quantile(1); !ok || v != 4 {
+		t.Fatalf("p100 = %v, %v; want top of occupied bucket", v, ok)
+	}
+	if v, ok := h.Quantile(0); !ok || v < 0 || v > 1 {
+		t.Fatalf("p0 = %v, %v; want inside first bucket", v, ok)
+	}
+
+	// Observations past every bound land in +Inf and clamp to the
+	// highest finite bound.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	if v, ok := h.Quantile(0.99); !ok || v != 8 {
+		t.Fatalf("p99 with overflow = %v, %v; want clamp to 8", v, ok)
+	}
+}

@@ -10,28 +10,65 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"mhxquery/internal/core"
 	"mhxquery/internal/dom"
 )
 
-// magic and version identify the image format.
+// magic and version identify the image format. Version 2 adds the
+// document revision, the WAL sequence number the snapshot covers, and
+// a CRC32C trailer over the whole image; version 1 images (no trailer)
+// still decode.
 const (
-	magic   = "MHXG"
-	version = 1
+	magic    = "MHXG"
+	version1 = 1
+	version  = 2
 )
 
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt tags every way an image can be damaged — bad magic,
+// checksum mismatch, truncation, or structurally invalid content —
+// so callers can distinguish corruption from I/O errors (errors.Is).
+var ErrCorrupt = errors.New("MHXQ0201: corrupt document image")
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("store: "+format+": %w", append(args, ErrCorrupt)...)
+}
+
+// crcWriter checksums everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, crcTable, p[:n])
+	return n, err
+}
+
 // Encode writes a binary image of the document to w.
-func Encode(w io.Writer, d *core.Document) error {
-	bw := bufio.NewWriter(w)
+func Encode(w io.Writer, d *core.Document) error { return EncodeSnapshot(w, d, 0) }
+
+// EncodeSnapshot writes a binary image recording that the snapshot
+// covers every WAL record with sequence number ≤ snapSeq.
+func EncodeSnapshot(w io.Writer, d *core.Document, snapSeq uint64) error {
+	cw := &crcWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	e := &encoder{w: bw, intern: map[string]uint64{}}
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	e.uvarint(version)
+	e.uvarint(d.Rev)
+	e.uvarint(snapSeq)
 
 	// String table: element/attribute names and attribute values.
 	var table []string
@@ -81,7 +118,15 @@ func Encode(w io.Writer, d *core.Document) error {
 	if e.err != nil {
 		return e.err
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// CRC32C trailer over everything written so far; written directly so
+	// it does not checksum itself.
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], cw.sum)
+	_, err := w.Write(tr[:])
+	return err
 }
 
 type encoder struct {
@@ -143,23 +188,69 @@ func (e *encoder) node(n *dom.Node) {
 }
 
 // Decode reads a binary image and rebuilds the document (including all
-// KyGODDAG indexes, via core.Build).
+// KyGODDAG indexes, via core.Build). Corruption — bad magic, checksum
+// mismatch, truncation, invalid structure — is reported as an error
+// wrapping ErrCorrupt.
 func Decode(r io.Reader) (*core.Document, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	doc, _, err := DecodeSnapshot(r)
+	return doc, err
+}
+
+// DecodeSnapshot is Decode plus the WAL sequence number the snapshot
+// covers (0 for version-1 images, which predate the WAL).
+func DecodeSnapshot(r io.Reader) (*core.Document, uint64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
 	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("store: bad magic %q", head)
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, 0, corrupt("bad magic")
 	}
-	d := &decoder{r: br}
-	if v := d.uvarint(); v != version {
-		if v > version {
-			return nil, fmt.Errorf("store: image version %d is newer than the supported version %d; rebuild with a newer mhxquery or re-encode the document", v, version)
+	body := data[len(magic):]
+	v, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, 0, corrupt("truncated version")
+	}
+	body = body[n:]
+	var rev, snapSeq uint64
+	switch v {
+	case version1:
+		// Legacy image: no revision, no coverage, no trailer.
+	case version:
+		if len(data) < 4 {
+			return nil, 0, corrupt("truncated image")
 		}
-		return nil, fmt.Errorf("store: unsupported version %d", v)
+		want := binary.LittleEndian.Uint32(data[len(data)-4:])
+		if crc32.Checksum(data[:len(data)-4], crcTable) != want {
+			return nil, 0, corrupt("checksum mismatch")
+		}
+		body = body[:len(body)-4]
+		if rev, n = binary.Uvarint(body); n <= 0 {
+			return nil, 0, corrupt("truncated revision")
+		}
+		body = body[n:]
+		if snapSeq, n = binary.Uvarint(body); n <= 0 {
+			return nil, 0, corrupt("truncated snapshot sequence")
+		}
+		body = body[n:]
+	default:
+		if v > version {
+			return nil, 0, fmt.Errorf("store: image version %d is newer than the supported version %d; rebuild with a newer mhxquery or re-encode the document", v, version)
+		}
+		return nil, 0, corrupt("unsupported version %d", v)
 	}
+	doc, err := decodeBody(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	doc.Rev = rev
+	return doc, snapSeq, nil
+}
+
+// decodeBody parses the string table, text and hierarchy trees (the
+// layout shared by both format versions) and rebuilds the document.
+func decodeBody(body []byte) (*core.Document, error) {
+	d := &decoder{r: bufio.NewReader(bytes.NewReader(body))}
 	table := make([]string, d.uvarint())
 	for i := range table {
 		table[i] = d.str()
@@ -189,14 +280,14 @@ func Decode(r io.Reader) (*core.Document, error) {
 		trees = append(trees, core.NamedTree{Name: name, Root: root})
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("store: %w", d.err)
+		return nil, corrupt("%v", d.err)
 	}
 	doc, err := core.Build(trees)
 	if err != nil {
-		return nil, fmt.Errorf("store: rebuilding document: %w", err)
+		return nil, corrupt("rebuilding document: %v", err)
 	}
 	if doc.Text != text {
-		return nil, fmt.Errorf("store: image text inconsistent with markup")
+		return nil, corrupt("image text inconsistent with markup")
 	}
 	return doc, nil
 }

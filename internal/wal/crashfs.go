@@ -1,0 +1,293 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrInjected is the error every armed CrashFS failpoint returns.
+var ErrInjected = errors.New("wal: injected fault")
+
+// errKilled is what every operation returns after Kill: the simulated
+// machine is off, nothing succeeds until Crash restarts it.
+var errKilled = errors.New("wal: filesystem killed")
+
+// CrashFS is an in-memory FS that models what ext4 actually promises:
+// written bytes are volatile until the file is fsynced, and created/
+// renamed/removed directory entries are volatile until the directory
+// is fsynced. Crash discards volatile state, so a test can kill the
+// write path at any syscall boundary, "reboot", and reopen from
+// exactly what a power loss would have left on disk.
+//
+// Fault injection: FailAt arms the n-th subsequent mutating operation
+// (create, write, sync, rename, remove, dir-sync) to fail with
+// ErrInjected — optionally completing a short write first, the torn-
+// write case. Kill turns every subsequent operation into an error so
+// background goroutines stop making progress before the test crashes
+// and reopens.
+type CrashFS struct {
+	mu   sync.Mutex
+	dirs map[string]bool
+	// live is the namespace processes observe; durable is what
+	// survives a crash. File contents are shared inodes; each inode's
+	// synced watermark tracks how many bytes an fsync has made
+	// durable.
+	live    map[string]*inode
+	durable map[string]*inode
+
+	ops    int // mutating operations performed since the last arm/crash
+	failAt int // 1-based op index to fail at; 0 = disarmed
+	short  bool
+	dead   bool
+}
+
+type inode struct {
+	data   []byte
+	synced int
+}
+
+// NewCrashFS returns an empty, fault-free filesystem.
+func NewCrashFS() *CrashFS {
+	return &CrashFS{
+		dirs:    map[string]bool{},
+		live:    map[string]*inode{},
+		durable: map[string]*inode{},
+	}
+}
+
+// FailAt arms the n-th mutating operation from now (1-based) to fail
+// with ErrInjected; short additionally makes a failing write a torn
+// one (half the buffer is written before the error). It resets the
+// operation counter.
+func (c *CrashFS) FailAt(n int, short bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops, c.failAt, c.short = 0, n, short
+}
+
+// OpCount returns the number of mutating operations since the last
+// FailAt/Crash, so a harness can size its failpoint sweep.
+func (c *CrashFS) OpCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Kill powers the machine off: every subsequent operation fails until
+// Crash.
+func (c *CrashFS) Kill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dead = true
+}
+
+// Crash simulates the reboot after a power loss: volatile directory
+// entries and unsynced bytes are discarded and the filesystem comes
+// back fault-free. keepUnsynced bytes of each file's unsynced tail
+// survive (0 = strict discard), modeling the partially persisted
+// write a real disk can leave behind — the torn-tail case recovery
+// must tolerate.
+func (c *CrashFS) Crash(keepUnsynced int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := make(map[string]*inode, len(c.durable))
+	for path, ino := range c.durable {
+		keep := ino.synced + keepUnsynced
+		if keep > len(ino.data) {
+			keep = len(ino.data)
+		}
+		live[path] = &inode{data: append([]byte(nil), ino.data[:keep]...), synced: keep}
+	}
+	c.live = live
+	c.durable = make(map[string]*inode, len(live))
+	for path, ino := range live {
+		c.durable[path] = ino
+	}
+	c.ops, c.failAt, c.short, c.dead = 0, 0, false, false
+}
+
+// step counts one mutating operation and reports whether it must fail.
+// Callers hold c.mu.
+func (c *CrashFS) step() error {
+	if c.dead {
+		return errKilled
+	}
+	c.ops++
+	if c.failAt > 0 && c.ops == c.failAt {
+		return ErrInjected
+	}
+	return nil
+}
+
+func (c *CrashFS) MkdirAll(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return errKilled
+	}
+	c.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+func (c *CrashFS) ReadDir(dir string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil, errKilled
+	}
+	dir = filepath.Clean(dir)
+	var names []string
+	for path := range c.live {
+		if filepath.Dir(path) == dir {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (c *CrashFS) Open(name string) (io.ReadCloser, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil, errKilled
+	}
+	ino, ok := c.live[filepath.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("crashfs: open %s: %w", name, os.ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), ino.data...))), nil
+}
+
+func (c *CrashFS) Create(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.step(); err != nil {
+		return nil, err
+	}
+	name = filepath.Clean(name)
+	ino := &inode{}
+	c.live[name] = ino
+	return &crashFile{fs: c, name: name, ino: ino}, nil
+}
+
+func (c *CrashFS) OpenAppend(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.step(); err != nil {
+		return nil, err
+	}
+	name = filepath.Clean(name)
+	ino, ok := c.live[name]
+	if !ok {
+		ino = &inode{}
+		c.live[name] = ino
+	}
+	return &crashFile{fs: c, name: name, ino: ino}, nil
+}
+
+func (c *CrashFS) Rename(oldname, newname string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.step(); err != nil {
+		return err
+	}
+	oldname, newname = filepath.Clean(oldname), filepath.Clean(newname)
+	ino, ok := c.live[oldname]
+	if !ok {
+		return fmt.Errorf("crashfs: rename %s: %w", oldname, os.ErrNotExist)
+	}
+	c.live[newname] = ino
+	delete(c.live, oldname)
+	return nil
+}
+
+func (c *CrashFS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.step(); err != nil {
+		return err
+	}
+	delete(c.live, filepath.Clean(name))
+	return nil
+}
+
+// SyncDir makes dir's current entries durable: files created, renamed
+// or removed under it survive a crash from this point on (contents
+// still only up to each file's own synced watermark).
+func (c *CrashFS) SyncDir(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.step(); err != nil {
+		return err
+	}
+	dir = filepath.Clean(dir)
+	for path := range c.durable {
+		if filepath.Dir(path) == dir {
+			if _, ok := c.live[path]; !ok {
+				delete(c.durable, path)
+			}
+		}
+	}
+	for path, ino := range c.live {
+		if filepath.Dir(path) == dir {
+			c.durable[path] = ino
+		}
+	}
+	return nil
+}
+
+type crashFile struct {
+	fs     *CrashFS
+	name   string
+	ino    *inode
+	closed bool
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("crashfs: write %s: file closed", f.name)
+	}
+	if err := f.fs.step(); err != nil {
+		if errors.Is(err, ErrInjected) && f.fs.short && len(p) > 1 {
+			// Torn write: half the buffer reached the file before the
+			// fault.
+			n := len(p) / 2
+			f.ino.data = append(f.ino.data, p[:n]...)
+			return n, err
+		}
+		return 0, err
+	}
+	f.ino.data = append(f.ino.data, p...)
+	return len(p), nil
+}
+
+func (f *crashFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("crashfs: sync %s: file closed", f.name)
+	}
+	if err := f.fs.step(); err != nil {
+		return err
+	}
+	f.ino.synced = len(f.ino.data)
+	return nil
+}
+
+func (f *crashFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func (f *crashFile) Name() string { return f.name }

@@ -1,0 +1,520 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// File layout:
+//
+//	header  "MHWL" 0x01                                   (5 bytes)
+//	record  u32le payload-len | u32le crc32c | payload    (repeated)
+//	payload kind | uvarint seq | uvarint base |
+//	        uvarint len(name) name | uvarint len(src) src
+//
+// Records carry the PR 5 edit-language source — already a compact,
+// replayable representation of an update batch — so replay is
+// compile + apply, reusing the whole read-side engine.
+//
+// Recovery semantics (Scan): a record whose frame runs past EOF, or
+// whose checksum fails on the final frame of the file, is a torn tail
+// — the crash interrupted the write — and is tolerated: the log is
+// valid up to it and the tail is truncated and counted. A checksum
+// failure (or framing violation) with more data after it is mid-log
+// corruption and fails loudly: acknowledged commits may be missing
+// and silently dropping them is the one thing a durable log must
+// never do.
+
+var logHeader = []byte{'M', 'H', 'W', 'L', 1}
+
+// maxRecordLen bounds one record's payload; anything larger is
+// corruption, not data.
+const maxRecordLen = 1 << 28
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Kind discriminates record types.
+type Kind uint8
+
+const (
+	// Update is one applied update batch: Name, Base (the revision it
+	// applied to) and Src (the edit-language source to replay).
+	Update Kind = iota + 1
+	// Tombstone records a document deletion: replay drops the document
+	// and every earlier update record targeting it.
+	Tombstone
+)
+
+// Record is one logged write.
+type Record struct {
+	Seq  uint64
+	Kind Kind
+	Name string
+	Base uint64
+	Src  string
+}
+
+// ErrCorrupt tags mid-log corruption: the log is damaged before its
+// tail, so acknowledged commits may be unrecoverable (errors.Is).
+var ErrCorrupt = errors.New("MHXQ0202: corrupt write-ahead log")
+
+// encodePayload renders r without the frame.
+func encodePayload(r Record) []byte {
+	buf := make([]byte, 0, 2+4*binary.MaxVarintLen64+len(r.Name)+len(r.Src))
+	buf = append(buf, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendUvarint(buf, r.Base)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Name)))
+	buf = append(buf, r.Name...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Src)))
+	buf = append(buf, r.Src...)
+	return buf
+}
+
+// frame prepends the length+checksum header to a payload.
+func frame(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.Checksum(payload, crcTable))
+	copy(out[8:], payload)
+	return out
+}
+
+func decodePayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 1 {
+		return r, fmt.Errorf("empty payload")
+	}
+	r.Kind = Kind(p[0])
+	if r.Kind != Update && r.Kind != Tombstone {
+		return r, fmt.Errorf("unknown record kind %d", p[0])
+	}
+	p = p[1:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("truncated varint")
+		}
+		p = p[n:]
+		return v, nil
+	}
+	str := func() (string, error) {
+		n, err := next()
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(len(p)) {
+			return "", fmt.Errorf("truncated string")
+		}
+		s := string(p[:n])
+		p = p[n:]
+		return s, nil
+	}
+	var err error
+	if r.Seq, err = next(); err != nil {
+		return r, err
+	}
+	if r.Base, err = next(); err != nil {
+		return r, err
+	}
+	if r.Name, err = str(); err != nil {
+		return r, err
+	}
+	if r.Src, err = str(); err != nil {
+		return r, err
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("%d trailing payload bytes", len(p))
+	}
+	return r, nil
+}
+
+// Scan parses a log image. It returns the decoded records and the
+// number of torn-tail bytes it tolerated (truncated from the end). A
+// framing or checksum violation anywhere but the file's final frame is
+// mid-log corruption and returns an error wrapping ErrCorrupt.
+func Scan(data []byte) (recs []Record, tornBytes int, err error) {
+	if len(data) == 0 {
+		return nil, 0, nil
+	}
+	if len(data) < len(logHeader) {
+		// A crash mid-header-write leaves a short prefix; anything else
+		// short is not our file.
+		if string(data) == string(logHeader[:len(data)]) {
+			return nil, len(data), nil
+		}
+		return nil, 0, fmt.Errorf("wal: bad log header: %w", ErrCorrupt)
+	}
+	if string(data[:len(logHeader)]) != string(logHeader) {
+		return nil, 0, fmt.Errorf("wal: bad log header: %w", ErrCorrupt)
+	}
+	off := len(logHeader)
+	lastSeq := uint64(0)
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < 8 {
+			return recs, rest, nil // torn frame header
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxRecordLen {
+			if off+8+plen > len(data) {
+				return recs, rest, nil // garbage tail, cannot even frame
+			}
+			return nil, 0, fmt.Errorf("wal: record at offset %d: absurd length %d: %w", off, plen, ErrCorrupt)
+		}
+		if off+8+plen > len(data) {
+			return recs, rest, nil // torn payload
+		}
+		payload := data[off+8 : off+8+plen]
+		if crc32.Checksum(payload, crcTable) != want {
+			if off+8+plen == len(data) {
+				return recs, rest, nil // torn final frame
+			}
+			return nil, 0, fmt.Errorf("wal: record at offset %d: checksum mismatch: %w", off, ErrCorrupt)
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			return nil, 0, fmt.Errorf("wal: record at offset %d: %v: %w", off, derr, ErrCorrupt)
+		}
+		if rec.Seq <= lastSeq {
+			return nil, 0, fmt.Errorf("wal: record at offset %d: sequence %d after %d: %w", off, rec.Seq, lastSeq, ErrCorrupt)
+		}
+		lastSeq = rec.Seq
+		recs = append(recs, rec)
+		off += 8 + plen
+	}
+	return recs, 0, nil
+}
+
+// Load reads and scans the log at path. A missing file is an empty,
+// clean log.
+func Load(fs FS, path string) (recs []Record, tornBytes int, err error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	return Scan(data)
+}
+
+// Observer receives group-commit measurements; the collection wires it
+// to its metrics registry.
+type Observer interface {
+	// ObserveCommit reports one fsynced batch: how many commits it
+	// covered, the bytes written, and the write+sync latency.
+	ObserveCommit(records, bytes int, latency time.Duration)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Flush is the group-commit window: after the first commit of a
+	// batch arrives, the log writer waits this long for more before
+	// one write+fsync covers them all. 0 syncs immediately (commits
+	// arriving while a sync is in flight still batch).
+	Flush time.Duration
+	// Observer receives per-batch measurements (may be nil).
+	Observer Observer
+}
+
+// Stats is a snapshot of the log's lifetime counters.
+type Stats struct {
+	// Appends is the number of records acknowledged.
+	Appends uint64
+	// Bytes is the framed bytes written.
+	Bytes uint64
+	// Syncs is the number of fsync batches.
+	Syncs uint64
+	// Resets counts log truncations (compactions after snapshots).
+	Resets uint64
+}
+
+// Log is an open write-ahead log. Append assigns sequence numbers and
+// enqueues; a dedicated writer goroutine batches every queued commit
+// into one write+fsync (group commit) and then acknowledges them all.
+// A write or sync failure poisons the log — the file tail is in an
+// unknown state, so accepting further appends could corrupt it mid-log
+// — and every queued and future commit fails.
+type Log struct {
+	fs    FS
+	path  string
+	flush time.Duration
+	obs   Observer
+
+	appends atomic.Uint64
+	bytes   atomic.Uint64
+	syncs   atomic.Uint64
+	resets  atomic.Uint64
+
+	mu      sync.Mutex
+	f       File
+	seq     uint64
+	queue   []*Commit
+	writing bool
+	broken  error
+	closed  bool
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+// Commit is one enqueued record; Wait blocks until its batch is
+// fsynced (or the log fails).
+type Commit struct {
+	seq   uint64
+	frame []byte
+	ch    chan error
+}
+
+// Seq returns the record's assigned sequence number.
+func (c *Commit) Seq() uint64 { return c.seq }
+
+// Wait blocks until the record is durable and returns the outcome.
+func (c *Commit) Wait() error { return <-c.ch }
+
+// Create atomically writes a fresh, empty log at path (temp file +
+// fsync + rename + directory fsync, so a crash leaves either the old
+// log or the new one, never a torn file) and opens it for appending.
+// Sequence numbers continue from lastSeq.
+func Create(fs FS, path string, lastSeq uint64, opts Options) (*Log, error) {
+	l := &Log{
+		fs:    fs,
+		path:  path,
+		flush: opts.Flush,
+		obs:   opts.Observer,
+		seq:   lastSeq,
+		kick:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if err := l.swapFresh(); err != nil {
+		return nil, err
+	}
+	go l.run()
+	return l, nil
+}
+
+// swapFresh installs a new empty log file at l.path and opens it for
+// appending. Callers must ensure no write is in flight.
+func (l *Log) swapFresh() error {
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	tmp := l.path + ".tmp"
+	f, err := l.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(logHeader); err != nil {
+		f.Close()
+		l.fs.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		l.fs.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		l.fs.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.fs.Rename(tmp, l.path); err != nil {
+		l.fs.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.fs.SyncDir(filepath.Dir(l.path)); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	af, err := l.fs.OpenAppend(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = af
+	return nil
+}
+
+// Append assigns the next sequence number to rec, enqueues it and
+// returns a Commit handle; the caller acknowledges its client only
+// after Commit.Wait returns nil. Records are written to the file in
+// sequence order.
+func (l *Log) Append(rec Record) (*Commit, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("wal: log closed")
+	}
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return nil, fmt.Errorf("wal: log failed: %w", err)
+	}
+	l.seq++
+	rec.Seq = l.seq
+	c := &Commit{seq: rec.Seq, frame: frame(encodePayload(rec)), ch: make(chan error, 1)}
+	l.queue = append(l.queue, c)
+	l.mu.Unlock()
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	return c, nil
+}
+
+// LastSeq returns the highest assigned sequence number.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends: l.appends.Load(),
+		Bytes:   l.bytes.Load(),
+		Syncs:   l.syncs.Load(),
+		Resets:  l.resets.Load(),
+	}
+}
+
+// ResetIf truncates the log to empty — atomically swapping in a fresh
+// file — provided every assigned sequence number is ≤ covered and no
+// commit is queued or being written: i.e. everything in the log is
+// already covered by document snapshots. It reports whether the reset
+// happened; callers simply retry after their next snapshot.
+func (l *Log) ResetIf(covered uint64) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.broken != nil || l.writing || len(l.queue) > 0 || l.seq > covered {
+		return false, nil
+	}
+	if err := l.swapFresh(); err != nil {
+		l.broken = err
+		return false, err
+	}
+	l.resets.Add(1)
+	return true, nil
+}
+
+// Close drains pending commits (one final batch) and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.quit)
+	<-l.done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		err := l.f.Close()
+		l.f = nil
+		return err
+	}
+	return nil
+}
+
+func (l *Log) run() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.kick:
+			if l.flush > 0 {
+				// Group-commit window: let concurrent committers pile
+				// into this batch before the one fsync.
+				time.Sleep(l.flush)
+			}
+			l.commitPending()
+		case <-l.quit:
+			l.commitPending()
+			return
+		}
+	}
+}
+
+// commitPending writes and fsyncs everything queued as one batch, then
+// acknowledges each commit.
+func (l *Log) commitPending() {
+	l.mu.Lock()
+	batch := l.queue
+	l.queue = nil
+	if len(batch) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		for _, c := range batch {
+			c.ch <- fmt.Errorf("wal: log failed: %w", err)
+		}
+		return
+	}
+	f := l.f
+	l.writing = true
+	l.mu.Unlock()
+
+	var buf []byte
+	if len(batch) == 1 {
+		buf = batch[0].frame
+	} else {
+		n := 0
+		for _, c := range batch {
+			n += len(c.frame)
+		}
+		buf = make([]byte, 0, n)
+		for _, c := range batch {
+			buf = append(buf, c.frame...)
+		}
+	}
+	start := time.Now()
+	_, err := f.Write(buf)
+	if err == nil {
+		err = f.Sync()
+	}
+	latency := time.Since(start)
+
+	l.mu.Lock()
+	l.writing = false
+	if err != nil {
+		l.broken = err
+	}
+	l.mu.Unlock()
+
+	if err == nil {
+		l.appends.Add(uint64(len(batch)))
+		l.bytes.Add(uint64(len(buf)))
+		l.syncs.Add(1)
+		if l.obs != nil {
+			l.obs.ObserveCommit(len(batch), len(buf), latency)
+		}
+	}
+	for _, c := range batch {
+		if err != nil {
+			c.ch <- fmt.Errorf("wal: commit failed: %w", err)
+		} else {
+			c.ch <- nil
+		}
+	}
+}

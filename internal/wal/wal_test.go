@@ -1,0 +1,373 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func readFile(t *testing.T, fs FS, path string) []byte {
+	t.Helper()
+	f, err := fs.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return data
+}
+
+func writeFile(t *testing.T, fs FS, path string, data []byte) {
+	t.Helper()
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Create(OS, path, 0, Options{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	want := []Record{
+		{Kind: Update, Name: "alpha", Base: 0, Src: `rename node (//w)[1] as "ww"`},
+		{Kind: Update, Name: "beta", Base: 3, Src: `delete node (//line)[2]`},
+		{Kind: Tombstone, Name: "alpha", Base: 1},
+	}
+	for i := range want {
+		c, err := l.Append(want[i])
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+		want[i].Seq = c.Seq()
+		if c.Seq() != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", c.Seq(), i+1)
+		}
+	}
+	if got := l.LastSeq(); got != 3 {
+		t.Fatalf("LastSeq = %d, want 3", got)
+	}
+	st := l.Stats()
+	if st.Appends != 3 || st.Syncs == 0 || st.Bytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	recs, torn, err := Load(OS, path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if torn != 0 {
+		t.Fatalf("torn = %d, want 0", torn)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestLoadMissingFileIsEmpty(t *testing.T) {
+	recs, torn, err := Load(OS, filepath.Join(t.TempDir(), "nope.log"))
+	if err != nil || len(recs) != 0 || torn != 0 {
+		t.Fatalf("Load missing = %v, %d, %v", recs, torn, err)
+	}
+}
+
+// buildLog renders a log image with the given records directly.
+func buildLog(recs ...Record) []byte {
+	out := append([]byte(nil), logHeader...)
+	for _, r := range recs {
+		out = append(out, frame(encodePayload(r))...)
+	}
+	return out
+}
+
+func TestScanTornTail(t *testing.T) {
+	full := buildLog(
+		Record{Seq: 1, Kind: Update, Name: "a", Src: "x"},
+		Record{Seq: 2, Kind: Update, Name: "b", Src: "y"},
+	)
+	// Every truncation point after the first full record must yield
+	// exactly record 1 plus a tolerated torn tail.
+	first := buildLog(Record{Seq: 1, Kind: Update, Name: "a", Src: "x"})
+	for cut := len(first) + 1; cut < len(full); cut++ {
+		recs, torn, err := Scan(full[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != 1 || recs[0].Seq != 1 {
+			t.Fatalf("cut %d: got %d records", cut, len(recs))
+		}
+		if torn != cut-len(first) {
+			t.Fatalf("cut %d: torn = %d, want %d", cut, torn, cut-len(first))
+		}
+	}
+	// Truncation inside the header is torn too.
+	for cut := 1; cut < len(logHeader); cut++ {
+		recs, torn, err := Scan(full[:cut])
+		if err != nil || len(recs) != 0 || torn != cut {
+			t.Fatalf("header cut %d: %v %d %v", cut, recs, torn, err)
+		}
+	}
+	// A corrupted FINAL record is a torn tail (interrupted write), not
+	// mid-log corruption.
+	img := append([]byte(nil), full...)
+	img[len(img)-1] ^= 0xff
+	recs, torn, err := Scan(img)
+	if err != nil {
+		t.Fatalf("corrupt final: %v", err)
+	}
+	if len(recs) != 1 || torn == 0 {
+		t.Fatalf("corrupt final: %d records, torn %d", len(recs), torn)
+	}
+}
+
+func TestScanMidLogCorruptionFailsLoudly(t *testing.T) {
+	full := buildLog(
+		Record{Seq: 1, Kind: Update, Name: "a", Src: "x"},
+		Record{Seq: 2, Kind: Update, Name: "b", Src: "y"},
+	)
+	first := buildLog(Record{Seq: 1, Kind: Update, Name: "a", Src: "x"})
+	// Flip a payload byte of record 1: its checksum fails with data
+	// after it.
+	img := append([]byte(nil), full...)
+	img[len(first)-1] ^= 0xff
+	if _, _, err := Scan(img); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption: err = %v, want ErrCorrupt", err)
+	}
+	// A bad header fails loudly.
+	img = append([]byte(nil), full...)
+	img[0] = 'X'
+	if _, _, err := Scan(img); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad header: err = %v, want ErrCorrupt", err)
+	}
+	// Non-increasing sequence numbers fail loudly.
+	img = buildLog(
+		Record{Seq: 2, Kind: Update, Name: "a", Src: "x"},
+		Record{Seq: 2, Kind: Update, Name: "b", Src: "y"},
+	)
+	if _, _, err := Scan(img); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("repeated seq: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	fs := NewCrashFS()
+	if err := fs.MkdirAll("coll"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Create(fs, "coll/wal.log", 0, Options{Flush: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := l.Append(Record{Kind: Update, Name: fmt.Sprintf("doc%02d", i), Src: "s"})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = c.Wait()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != n {
+		t.Fatalf("appends = %d, want %d", st.Appends, n)
+	}
+	if st.Syncs >= n {
+		t.Fatalf("syncs = %d: group commit did not batch %d concurrent commits", st.Syncs, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs, torn, err := Load(fs, "coll/wal.log")
+	if err != nil || torn != 0 {
+		t.Fatalf("Load: %v torn=%d", err, torn)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq = %d", i, r.Seq)
+		}
+	}
+}
+
+func TestResetIf(t *testing.T) {
+	fs := NewCrashFS()
+	fs.MkdirAll("coll")
+	l, err := Create(fs, "coll/wal.log", 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		c, _ := l.Append(Record{Kind: Update, Name: "d", Src: "s"})
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := l.ResetIf(2); ok || err != nil {
+		t.Fatalf("ResetIf(2) = %v, %v: must refuse when seq 3 is uncovered", ok, err)
+	}
+	if ok, err := l.ResetIf(3); !ok || err != nil {
+		t.Fatalf("ResetIf(3) = %v, %v", ok, err)
+	}
+	// The log is empty again but sequence numbers keep counting.
+	recs, torn, err := Load(fs, "coll/wal.log")
+	if err != nil || torn != 0 || len(recs) != 0 {
+		t.Fatalf("after reset: %d recs, torn %d, %v", len(recs), torn, err)
+	}
+	c, err := l.Append(Record{Kind: Update, Name: "d", Src: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq() != 4 {
+		t.Fatalf("seq after reset = %d, want 4", c.Seq())
+	}
+	if l.Stats().Resets != 1 {
+		t.Fatalf("resets = %d", l.Stats().Resets)
+	}
+}
+
+func TestSyncFailurePoisonsLog(t *testing.T) {
+	fs := NewCrashFS()
+	fs.MkdirAll("coll")
+	l, err := Create(fs, "coll/wal.log", 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, _ := l.Append(Record{Kind: Update, Name: "d", Src: "s"})
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next sync (op 1 = write, op 2 = sync).
+	fs.FailAt(2, false)
+	c, _ = l.Append(Record{Kind: Update, Name: "d", Src: "s"})
+	if err := c.Wait(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Wait after injected sync failure = %v", err)
+	}
+	// The log is poisoned: further appends must refuse rather than
+	// write after an unknown-length tail.
+	fs.FailAt(0, false)
+	if _, err := l.Append(Record{Kind: Update, Name: "d", Src: "s"}); err == nil {
+		t.Fatal("Append succeeded on a poisoned log")
+	}
+}
+
+func TestCrashFSDropsUnsyncedState(t *testing.T) {
+	fs := NewCrashFS()
+	fs.MkdirAll("c")
+	// Synced file with an unsynced tail.
+	f, _ := fs.Create("c/a")
+	f.Write([]byte("durable"))
+	f.Sync()
+	f.Write([]byte("+volatile"))
+	f.Close()
+	fs.SyncDir("c")
+	// Created but never dir-synced: the entry itself is volatile.
+	g, _ := fs.Create("c/b")
+	g.Write([]byte("gone"))
+	g.Sync()
+	g.Close()
+
+	fs.Crash(0)
+	if got := string(readFile(t, fs, "c/a")); got != "durable" {
+		t.Fatalf("a = %q", got)
+	}
+	if _, err := fs.Open("c/b"); err == nil {
+		t.Fatal("b survived without a directory sync")
+	}
+
+	// keepUnsynced preserves part of a torn tail.
+	h, _ := fs.OpenAppend("c/a")
+	h.Write([]byte("xyz"))
+	h.Close()
+	fs.Crash(2)
+	if got := string(readFile(t, fs, "c/a")); got != "durablexy" {
+		t.Fatalf("a after torn crash = %q", got)
+	}
+}
+
+func TestCrashFSRemoveNeedsDirSync(t *testing.T) {
+	fs := NewCrashFS()
+	fs.MkdirAll("c")
+	writeFile(t, fs, "c/a", []byte("data"))
+	fs.SyncDir("c")
+	fs.Remove("c/a")
+	fs.Crash(0)
+	// Remove without SyncDir: the entry comes back after a crash.
+	if _, err := fs.Open("c/a"); err != nil {
+		t.Fatalf("a should survive un-synced remove: %v", err)
+	}
+	fs.Remove("c/a")
+	fs.SyncDir("c")
+	fs.Crash(0)
+	if _, err := fs.Open("c/a"); err == nil {
+		t.Fatal("a survived a synced remove")
+	}
+}
+
+func TestCrashFSShortWrite(t *testing.T) {
+	fs := NewCrashFS()
+	fs.MkdirAll("c")
+	f, err := fs.Create("c/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SyncDir("c")
+	fs.FailAt(1, true)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) || n != 5 {
+		t.Fatalf("short write = %d, %v", n, err)
+	}
+	f.Close()
+	fs.Crash(5)
+	if got := string(readFile(t, fs, "c/a")); got != "01234" {
+		t.Fatalf("torn file = %q", got)
+	}
+}

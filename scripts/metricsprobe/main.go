@@ -14,6 +14,8 @@ import (
 	"log"
 	"os"
 	"sort"
+	"sync"
+	"time"
 
 	"mhxquery"
 	"mhxquery/internal/corpus"
@@ -77,8 +79,95 @@ func main() {
 		"nameindex_builds":       snap["mhx_nameindex_builds_total"],
 		"queries_evaluated":      snap["mhx_query_seconds_count"],
 	}
+	for k, v := range walProbe() {
+		out[k] = v
+	}
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(out); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// walProbe drives a concurrent durable-update burst through a
+// throwaway on-disk collection and reports the write-ahead-log health
+// numbers: group-commit fsync p99, commits amortized per fsync, and —
+// after closing and reopening the collection — the recovery replay
+// rate and torn-tail truncation count, so durability regressions
+// (fsync latency creep, group commit falling apart, slow replay) are
+// diffable in git alongside the cache numbers.
+func walProbe() map[string]any {
+	dir, err := os.MkdirTemp("", "metricsprobe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	// Snapshots disabled so every update stays in the log and the
+	// reopen below replays the whole burst.
+	opts := mhxquery.CollectionOptions{
+		FlushWindow:   500 * time.Microsecond,
+		SnapshotEvery: -1,
+		SnapshotBytes: -1,
+	}
+	coll, err := mhxquery.OpenCollection(dir, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xml := corpus.BoethiusXML()
+	const writers = 4
+	for i := 0; i < writers; i++ {
+		var hs []mhxquery.Hierarchy
+		for _, name := range corpus.BoethiusHierarchies() {
+			hs = append(hs, mhxquery.Hierarchy{Name: name, XML: xml[name]})
+		}
+		doc, err := mhxquery.Parse(hs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := coll.Put(fmt.Sprintf("boethius%d", i), doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Concurrent writers give group commit batches to amortize.
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("boethius%d", i)
+			for j := 0; j < 16; j++ {
+				if _, _, err := coll.Update(name, `rename node (//w)[1] as "w"`); err != nil {
+					log.Fatalf("%s: %v", name, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	snap := coll.Metrics().Snapshot()
+	p99, _ := coll.Metrics().Quantile("mhx_wal_fsync_seconds", 0.99)
+	commitsPerFsync := 0.0
+	if snap["mhx_wal_syncs_total"] > 0 {
+		commitsPerFsync = snap["mhx_wal_appends_total"] / snap["mhx_wal_syncs_total"]
+	}
+	if err := coll.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	reopened, err := mhxquery.OpenCollection(dir, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	rec := reopened.Recovery()
+	replayRate := 0.0
+	if rec.Elapsed > 0 {
+		replayRate = float64(rec.Replayed) / rec.Elapsed.Seconds()
+	}
+	return map[string]any{
+		"wal_fsync_p99_seconds":      p99,
+		"wal_commits_per_fsync":      commitsPerFsync,
+		"wal_replay_records_per_sec": replayRate,
+		"wal_replayed_records":       rec.Replayed,
+		"wal_torn_tail_bytes":        rec.TornTailBytes,
 	}
 }
