@@ -21,6 +21,7 @@
 //	P8  BenchmarkCompileCache/*          — cold compile vs LRU cache hit
 //	P9  BenchmarkPathPipeline/*          — order-aware path pipeline at 1/10/100× scale
 //	P10 BenchmarkIndexedDescendant/*     — structural name index, //name steps at 1/10/100×
+//	P14 BenchmarkParallelScan/*          — morsel-parallel index scan, 1/2/4/GOMAXPROCS workers
 //
 // scripts/bench.sh runs the evaluator-level subset (E3–E7, P9, P10)
 // with -count and emits BENCH_eval.json, the recorded perf trajectory.
@@ -29,6 +30,7 @@ package mhxquery_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -683,6 +685,64 @@ func BenchmarkUpdateDurable(b *testing.B) {
 					// each update still commits a new durable version.
 					if _, _, err := coll.Update("bench", `rename node (//w)[1] as "w"`); err != nil {
 						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---- P14: morsel-driven parallel intra-query execution -------------------------
+
+// parallelScanQuery is the heavy parallel-eligible workload: the
+// damaged-word selection filter (three extended-axis probes per word),
+// drained in full so the entire candidate stream is filtered. Its
+// predicate is position-independent, so the planner marks the fused
+// index scan parallel.
+const parallelScanQuery = `//w[xancestor::dmg or xdescendant::dmg or overlapping::dmg]`
+
+// BenchmarkParallelScan measures the same full-drain scan at 1×, 10×
+// and 100× scale with 1, 2, 4 and GOMAXPROCS intra-query workers.
+// Engagement is thresholded (parallelism only pays past a few hundred
+// candidates), so the 1× and 10× rows coincide across worker counts —
+// that is the point: small scans never pay scheduling overhead. The
+// speedup at 100× tracks physical core count; on a single-core host
+// all worker counts coincide there too.
+func BenchmarkParallelScan(b *testing.B) {
+	defer xquery.SetQueryWorkers(0)
+	workerSet := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		workerSet = append(workerSet, n)
+	}
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 6}, {"10x", 60}, {"100x", 600}} {
+		c := corpus.Generate(corpus.Params{Seed: 14, Words: scale.words, DamageRate: 0.12})
+		d, err := c.Document()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cq := xquery.MustCompile(parallelScanQuery)
+		xquery.SetQueryWorkers(1)
+		res, err := cq.Eval(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := xquery.Serialize(res)
+		for _, w := range workerSet {
+			b.Run(fmt.Sprintf("%s/w%d", scale.name, w), func(b *testing.B) {
+				xquery.SetQueryWorkers(w)
+				defer xquery.SetQueryWorkers(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := cq.Eval(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := xquery.Serialize(res); got != want {
+						b.Fatalf("got %q, want %q", got, want)
 					}
 				}
 			})

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"mhxquery/internal/core"
+	"mhxquery/internal/sched"
 	"mhxquery/internal/store"
 	"mhxquery/internal/wal"
 	"mhxquery/internal/xquery"
@@ -166,6 +167,10 @@ func New(opts Options) *Collection {
 		docs:    map[string]*core.Document{},
 		fs:      wal.OS,
 	}
+	// Fan-out runs on the process-wide scheduler (shared with intra-query
+	// morsel execution); make sure it can grant this collection's
+	// parallelism.
+	sched.Default().Ensure(c.workers)
 	c.metrics = newCollMetrics(c)
 	return c
 }

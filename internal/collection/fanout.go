@@ -2,10 +2,10 @@ package collection
 
 import (
 	"context"
-	"sync"
 	"time"
 
 	"mhxquery/internal/core"
+	"mhxquery/internal/sched"
 	"mhxquery/internal/xquery"
 )
 
@@ -70,48 +70,25 @@ func (c *Collection) QueryAllLimit(ctx context.Context, src, pattern string, lim
 	return results, nil
 }
 
-// runPool runs jobs 0..n-1 on at most c.workers goroutines and returns
-// the i-th job's result at index i. The whole job list is queued up
-// front (the channel is buffered), so mhx_fanout_queue_depth reads as
-// "accepted but not yet started" and mhx_fanout_busy_workers as
-// "currently evaluating" — the two numbers an operator needs to tell a
-// saturated pool from an idle one.
+// runPool runs jobs 0..n-1 with at most c.workers participants on the
+// process-wide scheduler (internal/sched) shared with intra-query
+// morsel execution; fan-out jobs carry the higher priority class, so
+// queued morsels never starve a collection fan-out. The whole job list
+// is accounted up front, so mhx_fanout_queue_depth reads as "accepted
+// but not yet started" and mhx_fanout_busy_workers as "currently
+// evaluating" — whichever goroutine (caller or pool helper) runs the
+// job, exactly one depth decrement and one busy increment/decrement
+// pair fires per job.
 func (c *Collection) runPool(n int, job func(int) Result) []Result {
 	results := make([]Result, n)
-	workers := c.workers
-	if workers > n {
-		workers = n
-	}
 	m := c.metrics
-	run := func(i int) {
+	m.queueDepth.Add(int64(n))
+	sched.Default().ParallelFor(sched.Fanout, n, c.workers, func(i, slot int) {
 		m.queueDepth.Dec()
 		m.busyWorkers.Inc()
 		results[i] = job(i)
 		m.busyWorkers.Dec()
-	}
-	m.queueDepth.Add(int64(n))
-	if workers <= 1 {
-		for i := range results {
-			run(i)
-		}
-		return results
-	}
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				run(i)
-			}
-		}()
-	}
-	wg.Wait()
+	})
 	return results
 }
 

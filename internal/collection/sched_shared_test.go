@@ -1,0 +1,93 @@
+package collection
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"mhxquery/internal/sched"
+	"mhxquery/internal/xquery"
+)
+
+// TestFanoutGaugesWithMorselJobs is the accounting check for the shared
+// scheduler: when per-document fan-out jobs themselves dispatch morsel
+// jobs into the same pool, the fan-out gauges still see exactly one
+// depth decrement and one busy increment/decrement per document job,
+// and return to zero at rest. The documents are sized past the default
+// parallel-engagement threshold so the inner morsel pass really runs.
+func TestFanoutGaugesWithMorselJobs(t *testing.T) {
+	xquery.SetQueryWorkers(4)
+	t.Cleanup(func() { xquery.SetQueryWorkers(0) })
+
+	c := New(Options{Workers: 4})
+	for i := 0; i < 6; i++ {
+		if _, err := c.Put(fmt.Sprintf("doc%d", i), genDoc(t, uint64(i+1), 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	morselsBefore, _ := xquery.ParallelStats()
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := c.QueryAll(`//w[string-length(string(.)) > 0]`, ""); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := c.Metrics().Snapshot()
+	if snap["mhx_fanout_queue_depth"] != 0 || snap["mhx_fanout_busy_workers"] != 0 {
+		t.Errorf("fan-out gauges nonzero at rest: depth=%v busy=%v",
+			snap["mhx_fanout_queue_depth"], snap["mhx_fanout_busy_workers"])
+	}
+	if snap["mhx_pool_busy_workers"] != 0 ||
+		snap[`mhx_pool_queued_jobs{class="fanout"}`] != 0 ||
+		snap[`mhx_pool_queued_jobs{class="morsel"}`] != 0 {
+		t.Errorf("shared-pool gauges nonzero at rest: %v", snap)
+	}
+
+	// The inner passes must actually have run through the shared pool —
+	// otherwise this test proves nothing about interleaved accounting.
+	morselsAfter, _ := xquery.ParallelStats()
+	if morselsAfter <= morselsBefore {
+		t.Fatalf("no morsels dispatched during fan-out (before=%d after=%d): engagement threshold not crossed",
+			morselsBefore, morselsAfter)
+	}
+	if snap["mhx_query_morsels_total"] != float64(morselsAfter) {
+		t.Errorf("mhx_query_morsels_total = %v, ParallelStats = %d",
+			snap["mhx_query_morsels_total"], morselsAfter)
+	}
+	if snap["mhx_query_parallel_queries_total"] < 1 {
+		t.Errorf("mhx_query_parallel_queries_total = %v, want >= 1",
+			snap["mhx_query_parallel_queries_total"])
+	}
+	if snap["mhx_query_morsel_seconds_count"] < 1 {
+		t.Errorf("morsel latency histogram empty: %v", snap["mhx_query_morsel_seconds_count"])
+	}
+	if got := sched.Default().Busy(); got != 0 {
+		t.Errorf("scheduler busy = %d at rest", got)
+	}
+
+	var sb strings.Builder
+	if err := c.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, family := range []string{
+		"mhx_query_morsels_total", "mhx_query_parallel_queries_total",
+		"mhx_query_morsel_seconds", "mhx_pool_busy_workers", "mhx_pool_queued_jobs",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			t.Errorf("scrape missing family %s", family)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package sched is the process-level bounded worker pool shared by
+// every parallel execution surface of the engine: collection query
+// fan-out (one job per document) and morsel-driven intra-query
+// parallelism (one job per index-scan morsel). A single pool means a
+// single knob — fan-out jobs and morsels draw from the same worker
+// budget, so stacking both kinds of parallelism cannot explode the
+// goroutine count past what the operator sized.
+//
+// The core primitive is ParallelFor, a caller-helping parallel loop:
+// the submitting goroutine always participates in executing its own
+// items, and pool workers join only as capacity frees up. Two
+// properties follow:
+//
+//   - No deadlock under nesting. A fan-out job running on a pool
+//     worker may itself submit morsel work; even when every other
+//     worker is busy, the submitter drives its own items to
+//     completion, so progress never depends on pool capacity.
+//   - The pool bounds the EXTRA parallelism only. A ParallelFor from
+//     an application goroutine uses that goroutine plus at most
+//     (par-1) helpers, so total concurrency stays within what the
+//     caller and the pool size together allow.
+//
+// Fan-out tickets queue ahead of morsel tickets (class priority), so
+// cross-document throughput never starves behind a single heavy
+// query's morsels — a heavy query still progresses through its own
+// submitter.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Class is the scheduling class of submitted work. Lower values are
+// served first when workers pick up tickets.
+type Class int
+
+const (
+	// Fanout is collection query fan-out: one job per document.
+	Fanout Class = iota
+	// Morsel is intra-query morsel work: one job per candidate slice.
+	Morsel
+
+	numClasses
+)
+
+// task is one ParallelFor invocation: a work-stealing counter over n
+// items. Tickets enqueued on the pool all point at the same task;
+// each claims items until the counter runs out, so late tickets
+// (popped after the loop finished) cost one atomic load.
+type task struct {
+	n         int64
+	f         func(i, slot int)
+	next      atomic.Int64
+	completed atomic.Int64
+	slots     atomic.Int64
+	done      chan struct{}
+}
+
+// run claims and executes items until none remain. slot identifies
+// the participating goroutine (0 = submitter, 1.. = helpers) so
+// callers can keep per-participant scratch state without locking.
+func (t *task) run(slot int) {
+	for {
+		i := t.next.Add(1) - 1
+		if i >= t.n {
+			return
+		}
+		t.f(int(i), slot)
+		if t.completed.Add(1) == t.n {
+			close(t.done)
+		}
+	}
+}
+
+// Pool is a fixed set of worker goroutines serving tickets from
+// per-class FIFO queues. The zero value is not usable; construct with
+// New. A nil *Pool is valid everywhere and means "no helpers": every
+// ParallelFor runs serially on the caller.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers int
+	queues  [numClasses][]*task
+	busy    atomic.Int64
+}
+
+// New creates a pool with n parked worker goroutines (n < 1 is
+// clamped to 1). Workers are cheap when idle; they exist for the
+// process lifetime.
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.Ensure(n)
+	return p
+}
+
+// Ensure grows the pool to at least n workers; it never shrinks.
+// Growing is how every subsystem states its budget — the pool ends up
+// sized max(all requests), the shared ceiling.
+func (p *Pool) Ensure(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	for p.workers < n {
+		p.workers++
+		go p.worker()
+	}
+	p.mu.Unlock()
+}
+
+// Workers returns the current worker count.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers
+}
+
+// Busy returns how many pool workers are currently executing items
+// (the submitter's own participation is not counted — it is the
+// caller's goroutine, not pool capacity).
+func (p *Pool) Busy() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.busy.Load()
+}
+
+// Queued returns the number of not-yet-claimed helper tickets of one
+// class.
+func (p *Pool) Queued(cl Class) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queues[cl])
+}
+
+func (p *Pool) worker() {
+	p.mu.Lock()
+	for {
+		var t *task
+		for cl := Class(0); cl < numClasses; cl++ {
+			if q := p.queues[cl]; len(q) > 0 {
+				t = q[0]
+				copy(q, q[1:])
+				p.queues[cl] = q[:len(q)-1]
+				break
+			}
+		}
+		if t == nil {
+			p.cond.Wait()
+			continue
+		}
+		p.mu.Unlock()
+		if t.next.Load() < t.n { // skip tickets of already-finished loops
+			slot := int(t.slots.Add(1))
+			p.busy.Add(1)
+			t.run(slot)
+			p.busy.Add(-1)
+		}
+		p.mu.Lock()
+	}
+}
+
+// ParallelFor runs f(i, slot) for every i in [0, n), on the calling
+// goroutine plus at most par-1 pool helpers. slot ∈ [0, par) is
+// stable per participating goroutine for the duration of the loop
+// (the caller is always slot 0), so f can index per-participant
+// scratch state race-free. ParallelFor returns when every item has
+// completed. f must not panic; cancellation is the caller's concern
+// (have f consult a context and make the remaining items cheap).
+//
+// With par <= 1, n <= 1 or a nil pool the loop degenerates to a plain
+// serial for-loop on the caller — the recommended "parallelism off"
+// path, with zero scheduling overhead.
+func (p *Pool) ParallelFor(cl Class, n, par int, f func(i, slot int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || par <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			f(i, 0)
+		}
+		return
+	}
+	helpers := par - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	t := &task{n: int64(n), f: f, done: make(chan struct{})}
+	p.mu.Lock()
+	if helpers > p.workers {
+		helpers = p.workers
+	}
+	for i := 0; i < helpers; i++ {
+		p.queues[cl] = append(p.queues[cl], t)
+	}
+	p.mu.Unlock()
+	if helpers == 1 {
+		p.cond.Signal()
+	} else {
+		p.cond.Broadcast()
+	}
+	t.run(0)
+	<-t.done
+	// Drop any helper tickets no worker claimed: the loop is already
+	// complete, so they would only be popped and discarded later, and
+	// until then they inflate Queued and wake workers for nothing.
+	p.mu.Lock()
+	q := p.queues[cl]
+	w := 0
+	for _, qt := range q {
+		if qt != t {
+			q[w] = qt
+			w++
+		}
+	}
+	for i := w; i < len(q); i++ {
+		q[i] = nil
+	}
+	p.queues[cl] = q[:w]
+	p.mu.Unlock()
+}
+
+var (
+	defaultMu   sync.Mutex
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, created on first use
+// with GOMAXPROCS workers.
+func Default() *Pool {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultPool == nil {
+		defaultPool = New(runtime.GOMAXPROCS(0))
+	}
+	return defaultPool
+}

@@ -4,8 +4,9 @@
 # Runs the evaluator-level benchmarks (the paper queries E3–E7, the
 # P9 path-pipeline fixtures, the P10 indexed-descendant fixtures, the
 # P11 early-exit/FLWOR cursor fixtures, the P12 copy-on-write
-# update fixtures and the P13 durable-update fixtures, WAL vs
-# write-through) with -count repetitions, prints the raw
+# update fixtures, the P13 durable-update fixtures, WAL vs
+# write-through, and the P14 morsel-parallel scan fixtures at
+# 1/2/4/GOMAXPROCS workers) with -count repetitions, prints the raw
 # `go test -bench` output, and writes the best (minimum ns/op) run per
 # benchmark to a JSON file so the perf trajectory is diffable in git.
 #
@@ -16,7 +17,7 @@
 set -eu
 
 COUNT=5
-BENCH='BenchmarkQuery|BenchmarkPathPipeline|BenchmarkExample1AnalyzeString|BenchmarkIndexedDescendant|BenchmarkEarlyExit|BenchmarkFLWORJoin|BenchmarkUpdateSmallEdit|BenchmarkUpdateLargestHier|BenchmarkUpdateReparse|BenchmarkUpdateExpression|BenchmarkUpdateDurable'
+BENCH='BenchmarkQuery|BenchmarkPathPipeline|BenchmarkExample1AnalyzeString|BenchmarkIndexedDescendant|BenchmarkEarlyExit|BenchmarkFLWORJoin|BenchmarkUpdateSmallEdit|BenchmarkUpdateLargestHier|BenchmarkUpdateReparse|BenchmarkUpdateExpression|BenchmarkUpdateDurable|BenchmarkParallelScan'
 OUT=BENCH_eval.json
 while [ $# -gt 0 ]; do
 	case "$1" in
