@@ -30,6 +30,8 @@ package mhxquery_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"testing"
@@ -40,6 +42,7 @@ import (
 	"mhxquery/internal/corpus"
 	"mhxquery/internal/dom"
 	"mhxquery/internal/fragment"
+	"mhxquery/internal/slab"
 	"mhxquery/internal/store"
 	"mhxquery/internal/xmlparse"
 	"mhxquery/internal/xquery"
@@ -920,5 +923,126 @@ func BenchmarkStoreEncode(b *testing.B) {
 		if err := store.Encode(&img, d); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- P15: cold open — v2 tree decode vs v3 slab open --------------------------
+
+// openColdFixture encodes the scaled generated manuscript in both
+// snapshot formats and writes the v3 image to disk for the mmap leg.
+func openColdFixture(b *testing.B, words int) (v2img, v3img []byte, v3path string) {
+	b.Helper()
+	d, err := corpus.Generate(corpus.Params{Seed: 14, Words: words, DamageRate: 0.12}).Document()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var v2, v3 bytes.Buffer
+	if err := store.EncodeSnapshotV2(&v2, d, 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.EncodeSnapshot(&v3, d, 1); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "doc.mhx")
+	if err := os.WriteFile(path, v3.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	return v2.Bytes(), v3.Bytes(), path
+}
+
+// BenchmarkOpenCold measures snapshot open latency at 1×/10×/100× the
+// Boethius fixture: the v2 varint tree decode (rebuilds the KyGODDAG
+// and its indexes eagerly) against the v3 slab open (validates
+// checksums, installs the eager layers, materializes nothing) — from a
+// byte slice and from a memory-mapped file.
+func BenchmarkOpenCold(b *testing.B) {
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 6}, {"10x", 60}, {"100x", 600}} {
+		v2img, v3img, v3path := openColdFixture(b, scale.words)
+		b.Run(scale.name+"/v2heap", func(b *testing.B) {
+			b.SetBytes(int64(len(v2img)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := store.DecodeSnapshot(bytes.NewReader(v2img)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(scale.name+"/v3bytes", func(b *testing.B) {
+			b.SetBytes(int64(len(v3img)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := store.OpenSnapshotBytes(v3img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(scale.name+"/v3mmap", func(b *testing.B) {
+			b.SetBytes(int64(len(v3img)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Map and unmap inside the iteration: the opened document
+				// is discarded before the mapping goes away, and pairing
+				// the two keeps b.N iterations from exhausting the map
+				// table (real opens retain the mapping for process life).
+				data, mapped, err := slab.MapFile(v3path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := store.OpenSnapshotBytes(data); err != nil {
+					b.Fatal(err)
+				}
+				if err := slab.Unmap(data, mapped); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOpenFirstQuery measures time-to-first-answer: open the
+// snapshot and run one indexed count. The v3 leg pays lazy
+// materialization on the first query; the comparison shows the cold
+// open win survives the first real use.
+func BenchmarkOpenFirstQuery(b *testing.B) {
+	cq := xquery.MustCompile(`count(//w)`)
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 6}, {"100x", 600}} {
+		v2img, v3img, _ := openColdFixture(b, scale.words)
+		want := ""
+		b.Run(scale.name+"/v2heap", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, _, err := store.DecodeSnapshot(bytes.NewReader(v2img))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := cq.Eval(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				want = xquery.Serialize(res)
+			}
+		})
+		b.Run(scale.name+"/v3slab", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, _, err := store.OpenSnapshotBytes(v3img)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := cq.Eval(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := xquery.Serialize(res); want != "" && got != want {
+					b.Fatalf("got %q, want %q", got, want)
+				}
+			}
+		})
 	}
 }

@@ -123,6 +123,7 @@ func main() {
 	snapEvery := flag.Int("snapshot-every", 0, "write a background document snapshot after this many logged updates (0 = default 256, negative = never)")
 	snapBytes := flag.Int64("snapshot-bytes", 0, "write a background document snapshot after this many logged bytes (0 = default 4MiB, negative = never)")
 	writeThrough := flag.Bool("write-through", false, "disable the write-ahead log and persist a full document image synchronously on every update")
+	mmap := flag.Bool("mmap", true, "memory-map v3 snapshot images on startup (lazy, zero-copy open); -mmap=false reads them into memory instead")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -136,6 +137,7 @@ func main() {
 		FlushWindow:   *walFlush,
 		SnapshotEvery: *snapEvery,
 		SnapshotBytes: *snapBytes,
+		NoMmap:        !*mmap,
 	}
 	if *pprofAddr != "" {
 		// The profiling handlers get a private mux registered explicitly,

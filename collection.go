@@ -57,6 +57,12 @@ type CollectionOptions struct {
 	// SnapshotBytes re-snapshots after this many logged bytes per
 	// document (0 means 4 MiB, negative disables).
 	SnapshotBytes int64
+
+	// NoMmap forces OpenCollection to read snapshot images into memory
+	// instead of memory-mapping them. By default v3 images are mapped
+	// where the platform supports it (see the README's storage-layout
+	// section); set this — or MHX_NO_MMAP=1 — to opt out.
+	NoMmap bool
 }
 
 // RecoveryStats reports what OpenCollection had to do to bring a
@@ -83,6 +89,7 @@ func OpenCollection(dir string, opts CollectionOptions) (*Collection, error) {
 		FlushWindow:   opts.FlushWindow,
 		SnapshotEvery: opts.SnapshotEvery,
 		SnapshotBytes: opts.SnapshotBytes,
+		NoMmap:        opts.NoMmap,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,150 @@
+package mhxquery_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mhxquery"
+)
+
+// reopen round-trips d through the v3 snapshot image, returning a
+// slab-backed document that materializes its hierarchies lazily.
+func reopen(t *testing.T, d *mhxquery.Document) *mhxquery.Document {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := mhxquery.ReadDocument(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d2
+}
+
+// outcome runs a query and flattens the result and error into one
+// comparable string, so error cases must match code-for-code too.
+func outcome(d *mhxquery.Document, src string) string {
+	out, err := d.QueryString(src)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return "ok: " + out
+}
+
+var differentialQueries = []string{
+	`count(//w)`,
+	`string((//w)[1])`,
+	`for $w in /descendant::w[overlapping::line] return string($w)`,
+	`for $l in /descendant::line return count($l/overlapping::w)`,
+	`count(//w[xancestor::page])`,
+	`for $w in /descendant::w return span-end($w) - span-start($w)`,
+	`count(analyze-string(/, "ss")/child::m)`,
+	// Hierarchy-dependent: errors on documents without the hierarchy;
+	// the slab-backed document must fail with the identical error.
+	`sum(for $r in /descendant::res('restoration') return span-end($r) - span-start($r))`,
+	`count(/descendant::res('no-such-hierarchy'))`,
+}
+
+// TestDifferentialSlabVsHeap: a slab-backed document answers every
+// query — including error cases — exactly like the in-memory document
+// it was snapshotted from, and Select and Update behave identically.
+func TestDifferentialSlabVsHeap(t *testing.T) {
+	docs := map[string]*mhxquery.Document{"boethius": boethius(t)}
+	for _, seed := range []uint64{5, 23} {
+		d, _ := generated(t, seed, 50)
+		docs[fmt.Sprintf("gen%d", seed)] = d
+	}
+	for name, d := range docs {
+		d2 := reopen(t, d)
+		for _, q := range differentialQueries {
+			if got, want := outcome(d2, q), outcome(d, q); got != want {
+				t.Errorf("%s: %s\n slab %s\n heap %s", name, q, got, want)
+			}
+		}
+		gotSel, gotErr := d2.Select(`/descendant::w[overlapping::line]`)
+		wantSel, wantErr := d.Select(`/descendant::w[overlapping::line]`)
+		if (gotErr == nil) != (wantErr == nil) || len(gotSel) != len(wantSel) {
+			t.Fatalf("%s: Select diverged: %d/%v vs %d/%v", name, len(gotSel), gotErr, len(wantSel), wantErr)
+		}
+		for i := range gotSel {
+			gs, ge := gotSel[i].Span()
+			ws, we := wantSel[i].Span()
+			if gs != ws || ge != we || gotSel[i].Text() != wantSel[i].Text() {
+				t.Fatalf("%s: Select node %d diverged", name, i)
+			}
+		}
+	}
+}
+
+// TestDifferentialUpdate: the same update applied to the slab-backed
+// and heap documents yields the same stats, the same answers, and the
+// same failures.
+func TestDifferentialUpdate(t *testing.T) {
+	d, _ := generated(t, 17, 40)
+	d2 := reopen(t, d)
+	const upd = `insert node mark into (/descendant::w)[3],
+		insert hierarchy "a-overlay" from analyze-string(/, "a")/child::m`
+	nd, stats, err := d.Update(upd)
+	nd2, stats2, err2 := d2.Update(upd)
+	if (err == nil) != (err2 == nil) {
+		t.Fatalf("update errors diverged: %v vs %v", err, err2)
+	}
+	if err != nil {
+		t.Fatalf("update failed on both documents: %v", err)
+	}
+	if stats != stats2 {
+		t.Fatalf("update stats diverged: %+v vs %+v", stats, stats2)
+	}
+	for _, q := range []string{
+		`string(//mark)`,
+		`count(//m[overlapping::page or xancestor::page])`,
+		`count(/descendant::res('a-overlay'))`,
+	} {
+		if got, want := outcome(nd2, q), outcome(nd, q); got != want {
+			t.Errorf("after update: %s\n slab %s\n heap %s", q, got, want)
+		}
+	}
+	// A failing update fails identically and mutates neither document.
+	const bad = `rename node (//w)[1] as "line"`
+	_, _, errA := nd.Update(bad)
+	_, _, errB := nd2.Update(bad)
+	if errA == nil || errB == nil || errA.Error() != errB.Error() {
+		t.Fatalf("failing update diverged: %v vs %v", errA, errB)
+	}
+}
+
+// TestConcurrentQueriesOnFreshSlab hammers a freshly opened (fully
+// lazy) slab document from many goroutines at once, so the first
+// materialization of every hierarchy races with concurrent readers.
+// Run under -race this checks the sync.Once fill protocol.
+func TestConcurrentQueriesOnFreshSlab(t *testing.T) {
+	d := boethius(t)
+	want := make(map[string]string, len(differentialQueries))
+	for _, q := range differentialQueries {
+		want[q] = outcome(d, q)
+	}
+	d2 := reopen(t, d)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < len(differentialQueries); i++ {
+				q := differentialQueries[(g+i)%len(differentialQueries)]
+				if got := outcome(d2, q); got != want[q] {
+					errs <- fmt.Errorf("goroutine %d: %s\n got %s\nwant %s", g, q, got, want[q])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

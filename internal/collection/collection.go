@@ -75,6 +75,12 @@ type Options struct {
 	// means the real OS; tests inject wal.CrashFS for fault injection
 	// and power-loss simulation.
 	FS wal.FS
+
+	// NoMmap disables memory-mapping of v3 snapshot images on open and
+	// forces the read-into-memory path. Mapping is also skipped when the
+	// platform lacks support, when MHX_NO_MMAP=1, or when FS is not the
+	// real OS (an injected filesystem's bytes are not the disk's).
+	NoMmap bool
 }
 
 func (o Options) withDefaults() Options {
@@ -212,12 +218,7 @@ func Open(dir string, opts Options) (*Collection, error) {
 		if !nameRE.MatchString(name) {
 			continue
 		}
-		f, err := fs.Open(filepath.Join(dir, fname))
-		if err != nil {
-			return nil, fmt.Errorf("collection: %w", err)
-		}
-		d, snapSeq, err := store.DecodeSnapshot(f)
-		f.Close()
+		d, snapSeq, err := c.openSnapshot(opts, filepath.Join(dir, fname))
 		if err != nil {
 			// Snapshot corruption is not recoverable from here (the log
 			// only holds deltas against it): fail loudly, never serve a
@@ -234,6 +235,24 @@ func Open(dir string, opts Options) (*Collection, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// openSnapshot loads one image. A v3 image opens in O(validation):
+// memory-mapped off the real OS filesystem when allowed (the mapping
+// then backs the document for the life of the process, sharing the
+// page cache across processes), read into memory otherwise — either
+// way node storage materializes lazily on first structural access.
+// Legacy v1/v2 images decode eagerly through the same call.
+func (c *Collection) openSnapshot(opts Options, path string) (*core.Document, uint64, error) {
+	if _, osFS := c.fs.(wal.OSFS); osFS && !opts.NoMmap && store.MmapAvailable() {
+		return store.OpenSnapshotFile(path)
+	}
+	f, err := c.fs.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return store.DecodeSnapshot(f)
 }
 
 // Dir returns the backing directory ("" for a memory-only collection).

@@ -469,3 +469,45 @@ func TestUpdatePublishesNewVersion(t *testing.T) {
 		t.Fatalf("reloaded count(//worm) = %s", xquery.Serialize(res))
 	}
 }
+
+// TestOpenServesIndexQueriesWithoutBuilds: v3 snapshot images persist
+// the per-hierarchy name-index runs, so a fresh Open followed by
+// index-served queries performs zero index builds — in both the mmap
+// and the read-into-memory open paths.
+func TestOpenServesIndexQueriesWithoutBuilds(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		noMmap bool
+	}{{"mmap", false}, {"fallback", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := Open(dir, Options{NoMmap: tc.noMmap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fill(t, c, 3)
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			before := core.GlobalIndexStats().Builds
+			c2, err := Open(dir, Options{NoMmap: tc.noMmap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c2.Close()
+			for _, name := range c2.Names() {
+				res, err := c2.Query(name, `count(//w)`)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if xquery.Serialize(res) == "0" {
+					t.Fatalf("%s: no words found", name)
+				}
+			}
+			if builds := core.GlobalIndexStats().Builds - before; builds != 0 {
+				t.Fatalf("open + index queries performed %d index builds, want 0", builds)
+			}
+		})
+	}
+}

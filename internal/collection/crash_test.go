@@ -19,6 +19,10 @@ import (
 // from-scratch rebuild (the differential oracle of the update engine).
 func requireDocsEqual(t *testing.T, name string, got, want *core.Document) {
 	t.Helper()
+	// The comparison below reads node storage directly; a lazily opened
+	// (slab-backed) document materializes first.
+	got.Materialize()
+	want.Materialize()
 	if got.Rev != want.Rev {
 		t.Fatalf("%s: rev %d, want %d", name, got.Rev, want.Rev)
 	}

@@ -130,6 +130,7 @@ func (d *Document) Eval(a Axis, n *dom.Node) []*dom.Node {
 // no copying. ok=false means no contiguous view exists and the caller
 // must use AppendAxis. Callers must never mutate the returned slice.
 func (d *Document) SharedAxis(a Axis, n *dom.Node) (nodes []*dom.Node, ok bool) {
+	d.ensureLayout()
 	switch a {
 	case AxisAttribute:
 		if n.Kind == dom.Element {
@@ -163,6 +164,7 @@ func (d *Document) SharedAxis(a Axis, n *dom.Node) (nodes []*dom.Node, ok bool) 
 // Eval with caller-owned storage, so per-step result buffers can be
 // reused across context nodes.
 func (d *Document) AppendAxis(dst []*dom.Node, a Axis, n *dom.Node) []*dom.Node {
+	d.ensureLayout()
 	switch a {
 	case AxisSelf:
 		return append(dst, n)
@@ -480,6 +482,7 @@ func (d *Document) extendedAxis(dst []*dom.Node, a Axis, n *dom.Node) []*dom.Nod
 // scan over the whole node set — the ablation baseline for the indexed
 // implementation used by Eval. Standard axes delegate to Eval.
 func (d *Document) EvalScan(a Axis, n *dom.Node) []*dom.Node {
+	d.ensureLayout()
 	if !a.Extended() {
 		return d.Eval(a, n)
 	}

@@ -16,6 +16,7 @@ import (
 // name1, name2, … per element name in document order; text nodes t1, t2,
 // … per hierarchy; leaves are numbered boxes.
 func (d *Document) NodeLabels() map[*dom.Node]string {
+	d.ensureLayout()
 	labels := make(map[*dom.Node]string)
 	labels[d.Root] = d.Root.Name
 	counts := map[string]int{}
@@ -116,6 +117,7 @@ func (d *Document) LeafTable() string {
 // Serialize re-serializes one hierarchy of the document back to XML,
 // rebuilding a root element wrapper around the hierarchy's top nodes.
 func (d *Document) Serialize(hier string) (string, error) {
+	d.ensureLayout()
 	h := d.byName[hier]
 	if h == nil {
 		return "", fmt.Errorf("core: unknown hierarchy %q", hier)
@@ -143,6 +145,7 @@ func (d *Document) Serialize(hier string) (string, error) {
 // BoundarySources explains, for diagnostics, which hierarchies contribute
 // each boundary offset.
 func (d *Document) BoundarySources() map[int][]string {
+	d.ensureLayout()
 	src := make(map[int][]string)
 	add := func(off int, name string) {
 		for _, s := range src[off] {

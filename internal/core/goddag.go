@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mhxquery/internal/cmh"
 	"mhxquery/internal/dom"
@@ -41,6 +42,14 @@ type Hierarchy struct {
 	// byEnd lists the hierarchy's nodes sorted by span End (the
 	// xpreceding index).
 	byEnd []*dom.Node
+
+	// fill, when non-nil, materializes Top/Nodes/byEnd lazily from a
+	// frozen slab image (frozen.go); fillOnce synchronizes the one
+	// materialization and fillRoot is the shared root the top-level
+	// nodes are parented at. Eagerly built hierarchies leave fill nil.
+	fill     func(root *dom.Node, h *Hierarchy)
+	fillOnce *sync.Once
+	fillRoot *dom.Node
 
 	// idx is the lazily built structural name index (nameindex.go). It
 	// is shared by every overlay document reusing this hierarchy, so the
@@ -104,6 +113,21 @@ type Document struct {
 	leafBase int
 	// rootKids caches RootChildren for axis evaluation.
 	rootKids []*dom.Node
+
+	// layoutOnce, when non-nil, guards the lazy materialization of a
+	// frozen document's hierarchies and leaf layer (frozen.go). Eagerly
+	// built documents leave it nil.
+	layoutOnce *sync.Once
+}
+
+// numLeaves is the leaf count implied by the boundary array — equal to
+// len(Leaves) once the leaf layer is built, but available before a
+// frozen document materializes it (Bounds is always eager).
+func (d *Document) numLeaves() int {
+	if n := len(d.Bounds) - 1; n > 0 {
+		return n
+	}
+	return 0
 }
 
 // intern returns the symbol for name in the document's name table,
@@ -147,8 +171,9 @@ func (d *Document) OrdinalOf(n *dom.Node) (int, bool) {
 }
 
 // OrdinalSpace is the exclusive upper bound of OrdinalOf over this
-// document: 1 (root) + all hierarchy nodes + all leaves.
-func (d *Document) OrdinalSpace() int { return d.leafBase + len(d.Leaves) }
+// document: 1 (root) + all hierarchy nodes + all leaves. It is
+// derived from the boundary array, so it needs no materialization.
+func (d *Document) OrdinalSpace() int { return d.leafBase + d.numLeaves() }
 
 // Build constructs the KyGODDAG for the given hierarchy encodings. It
 // verifies that all trees share the same root element name and encode the
@@ -231,8 +256,13 @@ func (d *Document) indexHierarchy(h *Hierarchy, index int) {
 	for _, t := range h.Top {
 		visit(t)
 	}
-	h.byEnd = append([]*dom.Node(nil), h.Nodes...)
-	sort.SliceStable(h.byEnd, func(i, j int) bool { return h.byEnd[i].End < h.byEnd[j].End })
+	h.sortByEnd()
+}
+
+// stableSortByEnd orders nodes by span End, preserving preorder among
+// equals (the xpreceding index invariant).
+func stableSortByEnd(nodes []*dom.Node) {
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].End < nodes[j].End })
 }
 
 // partition recomputes Bounds, Leaves and the text→leaf links.
@@ -325,7 +355,7 @@ func (d *Document) buildLeaves() {
 	}
 
 	d.finishLayout()
-	d.rootKids = d.RootChildren()
+	d.rootKids = d.rootChildren()
 }
 
 // LeafParents returns, for a leaf, the text node that contains it in
@@ -339,6 +369,7 @@ func (d *Document) LeafParents(n *dom.Node) []*dom.Node {
 	if n.Kind != dom.Leaf {
 		return nil
 	}
+	d.ensureLayout()
 	for e := d; e != nil; e = e.Base {
 		if n.Ord < len(e.Leaves) && e.Leaves[n.Ord] == n {
 			return e.leafPar[n.Ord]
@@ -348,14 +379,30 @@ func (d *Document) LeafParents(n *dom.Node) []*dom.Node {
 }
 
 // finishLayout computes the ordinal layout (OrdinalOf) from the
-// registered hierarchies and leaf layer.
+// registered hierarchies and leaf layer. When the layout is already
+// current — a frozen document installs it eagerly at open, before the
+// document is shared — the redundant store is skipped, so lazy leaf
+// construction cannot race concurrent OrdinalOf/OrdinalSpace readers.
 func (d *Document) finishLayout() {
-	d.ordBase = make([]int, len(d.Hiers))
+	ordBase := make([]int, len(d.Hiers))
 	ord := 1 // 0 is the shared root
 	for i, h := range d.Hiers {
-		d.ordBase[i] = ord
+		ordBase[i] = ord
 		ord += len(h.Nodes)
 	}
+	if ord == d.leafBase && len(ordBase) == len(d.ordBase) {
+		same := true
+		for i := range ordBase {
+			if ordBase[i] != d.ordBase[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	d.ordBase = ordBase
 	d.leafBase = ord
 }
 
@@ -475,7 +522,7 @@ func (d *Document) LeafRange(n *dom.Node) (lo, hi int) {
 		return n.Ord, n.Ord + 1
 	case dom.Element, dom.Text:
 		if n == d.Root {
-			return 0, len(d.Leaves)
+			return 0, d.numLeaves()
 		}
 		if n.Hier == "" { // constructed node: no span in S
 			return 0, 0
@@ -489,12 +536,21 @@ func (d *Document) LeafRange(n *dom.Node) (lo, hi int) {
 
 // LeavesOf returns the leaves covered by a node, in text order.
 func (d *Document) LeavesOf(n *dom.Node) []*dom.Node {
+	d.ensureLayout()
 	lo, hi := d.LeafRange(n)
 	return d.Leaves[lo:hi]
 }
 
 // HierarchyByName returns the named hierarchy, or nil.
-func (d *Document) HierarchyByName(name string) *Hierarchy { return d.byName[name] }
+func (d *Document) HierarchyByName(name string) *Hierarchy {
+	h := d.byName[name]
+	if h != nil {
+		// Callers walk h.Nodes directly; a frozen hierarchy materializes
+		// here. (Existence probes on absent names stay free.)
+		h.ensure()
+	}
+	return h
+}
 
 // HierarchyNames returns the registered hierarchy names in order.
 func (d *Document) HierarchyNames() []string {
@@ -509,6 +565,13 @@ func (d *Document) HierarchyNames() []string {
 // nodes of every hierarchy in hierarchy order. (Root child edges are
 // computed, not stored, so overlays can share the root node.)
 func (d *Document) RootChildren() []*dom.Node {
+	d.ensureLayout()
+	return d.rootChildren()
+}
+
+// rootChildren is RootChildren without the materialization choke, for
+// use inside the materialization itself (buildLeaves).
+func (d *Document) rootChildren() []*dom.Node {
 	var out []*dom.Node
 	for _, h := range d.Hiers {
 		out = append(out, h.Top...)
@@ -551,6 +614,8 @@ func (d *Document) AddHierarchy(name string, top *dom.Node, temp bool) (*Documen
 	if top.Start < 0 || top.End > len(d.Text) || top.Start > top.End {
 		return nil, fmt.Errorf("core: hierarchy %q: span [%d,%d) outside base text", name, top.Start, top.End)
 	}
+	// The overlay's partition is computed from the base's leaf layer.
+	d.ensureLayout()
 	nd := &Document{
 		Text:   d.Text,
 		Root:   d.Root,
@@ -594,6 +659,7 @@ type Stats struct {
 
 // Stats computes composition statistics for the document.
 func (d *Document) Stats() Stats {
+	d.ensureLayout()
 	var s Stats
 	s.Hierarchies = len(d.Hiers)
 	s.Leaves = len(d.Leaves)

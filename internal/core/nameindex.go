@@ -86,6 +86,7 @@ func (ix *nameIndex) install(runs map[int32][]int32) {
 // first use. The returned map and its slices are shared and must not be
 // mutated; this is the diagnostic/verification surface of the index.
 func (h *Hierarchy) IndexRuns() map[int32][]int32 {
+	h.ensure()
 	h.idx.once.Do(func() { h.idx.build(h) })
 	return h.idx.runs
 }
@@ -93,7 +94,10 @@ func (h *Hierarchy) IndexRuns() map[int32][]int32 {
 // RebuildIndexRuns recomputes the index from scratch, ignoring any
 // built (or incrementally maintained) state — the oracle differential
 // tests compare IndexRuns against.
-func (h *Hierarchy) RebuildIndexRuns() map[int32][]int32 { return rebuildRuns(h) }
+func (h *Hierarchy) RebuildIndexRuns() map[int32][]int32 {
+	h.ensure()
+	return rebuildRuns(h)
+}
 
 // NameRun returns the ascending preorder ordinals of the hierarchy's
 // elements whose interned name symbol is sym, building the index on
@@ -104,7 +108,16 @@ func (h *Hierarchy) NameRun(sym int32) []int32 {
 		return nil
 	}
 	h.idx.once.Do(func() { h.idx.build(h) })
-	return h.idx.runs[sym]
+	run := h.idx.runs[sym]
+	if len(run) > 0 {
+		// Callers resolve the returned ordinals through h.Nodes; a
+		// frozen hierarchy materializes its node storage now, so a
+		// non-empty run is always dereferenceable. (An empty run means
+		// no node access follows — a frozen document answers "no such
+		// name here" without materializing anything.)
+		h.ensure()
+	}
+	return run
 }
 
 // SubRun restricts an ascending ordinal run to the half-open interval

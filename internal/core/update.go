@@ -202,6 +202,9 @@ func (d *Document) Apply(edits []Edit) (*Document, *UpdateStats, error) {
 	if len(edits) == 0 {
 		return d, &UpdateStats{}, nil
 	}
+	// The copy-on-write machinery walks node storage and the leaf
+	// layer throughout; a frozen document materializes here once.
+	d.ensureLayout()
 	for _, h := range d.Hiers {
 		if h.Temp {
 			return nil, nil, fmt.Errorf("core: cannot update a document with temporary hierarchies")

@@ -42,6 +42,7 @@ type open struct {
 // reopened after it (part="M" or, at its true end, "F"). Elements never
 // split keep their original attributes only.
 func Fragment(d *core.Document) *dom.Node {
+	d.Materialize() // walks every hierarchy's node storage directly
 	root := dom.NewElement(d.Root.Name)
 	for _, a := range d.Root.Attrs {
 		root.SetAttr(a.Name, a.Data)
@@ -179,6 +180,7 @@ func fragID(chain, fragN int) string {
 // <name-start id="k"/> / <name-end ref="k"/> marker pair at its boundary
 // positions.
 func Milestone(d *core.Document, primary string) (*dom.Node, error) {
+	d.Materialize() // walks every hierarchy's node storage directly
 	ph := d.HierarchyByName(primary)
 	if ph == nil {
 		return nil, fmt.Errorf("fragment: unknown primary hierarchy %q", primary)

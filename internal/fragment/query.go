@@ -168,6 +168,7 @@ func DamagedWordIndices(words, damages []Logical) []int {
 // overlapping — each an indexed O(depth + answer) axis call — rather
 // than testing every word.
 func NativeDamagedWordIndices(d *core.Document, wordTag, dmgTag string) []int {
+	d.Materialize() // walks every hierarchy's node storage directly
 	wordIdx := make(map[*dom.Node]int)
 	idx := 0
 	for _, h := range d.Hiers {

@@ -1,0 +1,100 @@
+package slab
+
+import (
+	"mhxquery/internal/core"
+	"mhxquery/internal/dom"
+)
+
+// makeFill returns the fill callback that materializes hierarchy hi's
+// dom.Node storage from the validated columns. It is infallible by
+// construction: Open has already verified every invariant the loops
+// below rely on (kinds, symbol ranges, span bounds, subtree nesting,
+// the attribute prefix-sum), so no index here can go out of range.
+//
+// The result is field-for-field what core.Build produces from a parsed
+// tree: preorder h.Nodes with Ord/Last/Hier/HierIndex/NameSym set,
+// top-level nodes parented at the shared root and listed in h.Top,
+// children and attributes in document order. Node structs come from
+// three backing arrays (nodes, attributes, child-pointer slab), so a
+// hierarchy of n nodes costs O(1) allocations, not O(n).
+func (s *Slab) makeFill(hi int) func(root *dom.Node, h *core.Hierarchy) {
+	sh := &s.hiers[hi]
+	return func(root *dom.Node, h *core.Hierarchy) {
+		n := sh.nNodes
+		nodes := make([]dom.Node, n)
+		ptrs := make([]*dom.Node, n)
+		attrSlab := make([]dom.Node, sh.nAttrs)
+		attrPtrs := make([]*dom.Node, sh.nAttrs)
+		counts := make([]int32, n)
+		parent := make([]int32, n)
+		childTotal := 0
+
+		var stack []int32 // ords of open elements
+		for i := 0; i < n; i++ {
+			for len(stack) > 0 && int(sh.lasts[stack[len(stack)-1]]) < i {
+				stack = stack[:len(stack)-1]
+			}
+			nd := &nodes[i]
+			ptrs[i] = nd
+			nd.Kind = dom.Kind(sh.kinds[i])
+			nd.Hier, nd.HierIndex = h.Name, h.Index
+			nd.Ord, nd.Last = i, int(sh.lasts[i])
+			nd.Start, nd.End = int(sh.starts[i]), int(sh.ends[i])
+			switch nd.Kind {
+			case dom.Element:
+				nd.NameSym = int32(sh.nameSyms[i])
+				nd.Name = s.names[nd.NameSym-1]
+			case dom.Text:
+				nd.Data = s.text[nd.Start:nd.End]
+			default: // Comment, ProcInst: names stay un-interned, as in core.Build
+				nd.Name = s.symStr(sh.nameSyms[i])
+				nd.Data = s.symStr(sh.dataSyms[i])
+			}
+			if lo, hiA := sh.attrIdx[i], sh.attrIdx[i+1]; hiA > lo {
+				nd.Attrs = attrPtrs[lo:hiA]
+				for j := lo; j < hiA; j++ {
+					a := &attrSlab[j]
+					attrPtrs[j] = a
+					a.Kind = dom.Attribute
+					sym := sh.attrs[2*j]
+					a.Name = s.names[sym-1]
+					if int(sym) <= s.numDocNames {
+						a.NameSym = int32(sym)
+					}
+					a.Data = s.symStr(sh.attrs[2*j+1])
+					a.Hier, a.HierIndex = nd.Hier, nd.HierIndex
+					a.Parent, a.Ord, a.Sub = nd, i, int(j-lo)+1
+				}
+			}
+			if len(stack) == 0 {
+				parent[i] = -1
+				nd.Parent = root
+				h.Top = append(h.Top, nd)
+			} else {
+				p := stack[len(stack)-1]
+				parent[i] = p
+				nd.Parent = ptrs[p]
+				counts[p]++
+				childTotal++
+			}
+			if nd.Kind == dom.Element && nd.Last > i {
+				stack = append(stack, int32(i))
+			}
+		}
+
+		backing := make([]*dom.Node, childTotal)
+		pos := 0
+		for i := 0; i < n; i++ {
+			if c := int(counts[i]); c > 0 {
+				nodes[i].Children = backing[pos : pos : pos+c]
+				pos += c
+			}
+		}
+		for i := 0; i < n; i++ {
+			if p := parent[i]; p >= 0 {
+				nodes[p].Children = append(nodes[p].Children, ptrs[i])
+			}
+		}
+		h.Nodes = ptrs
+	}
+}

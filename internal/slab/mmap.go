@@ -1,0 +1,32 @@
+package slab
+
+import "os"
+
+// UseMmap reports whether snapshot images should be memory-mapped on
+// this host. MHX_NO_MMAP=1 forces the read-into-memory fallback (used
+// by the CI leg that exercises the non-mapped path).
+func UseMmap() bool {
+	return mmapSupported() && os.Getenv("MHX_NO_MMAP") != "1"
+}
+
+// MapFile returns the file's bytes, preferring a read-only memory
+// mapping when UseMmap allows; mapped reports which path was taken.
+// Mapped bytes must be released with Unmap — but only once nothing
+// aliases them; a mapping serving an open document is simply kept for
+// the life of the process.
+func MapFile(path string) (data []byte, mapped bool, err error) {
+	if !UseMmap() {
+		data, err = os.ReadFile(path)
+		return data, false, err
+	}
+	return mapFile(path)
+}
+
+// Unmap releases bytes returned by MapFile. It is a no-op for
+// heap-backed reads.
+func Unmap(data []byte, mapped bool) error {
+	if !mapped || data == nil {
+		return nil
+	}
+	return unmap(data)
+}

@@ -1,0 +1,14 @@
+//go:build !linux && !darwin
+
+package slab
+
+import "os"
+
+func mmapSupported() bool { return false }
+
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+func unmap(data []byte) error { return nil }

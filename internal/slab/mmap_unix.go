@@ -1,0 +1,38 @@
+//go:build linux || darwin
+
+package slab
+
+import (
+	"os"
+	"syscall"
+)
+
+func mmapSupported() bool { return true }
+
+// mapFile maps path read-only. Any mapping failure — empty file, size
+// overflow, mmap refusal — degrades to a plain read: the caller gets
+// the same bytes either way, just without the page-cache sharing.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size <= 0 || int64(int(size)) != size {
+		data, err := os.ReadFile(path)
+		return data, false, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		data, err := os.ReadFile(path)
+		return data, false, err
+	}
+	return data, true, nil
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }

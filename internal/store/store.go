@@ -1,11 +1,16 @@
 // Package store persists multihierarchical documents in a compact binary
 // format — the storage side of the paper's "framework for management of
 // concurrent XML markup" ([5]). The image contains the base text once
-// plus the markup structure of every hierarchy (names interned in a
-// string table, spans as varint deltas); text content is never
-// duplicated, since every text node is a slice of S. Loading rebuilds
-// the trees and re-runs core.Build, so a decoded document is revalidated
-// and fully indexed.
+// plus the markup structure of every hierarchy; text content is never
+// duplicated, since every text node is a slice of S.
+//
+// Format v3 frames an internal/slab columnar image: the document is laid
+// out so that opening a snapshot is O(validation) — a checksummed linear
+// scan — instead of O(rebuild), and the opened document serves its base
+// text, boundary array and name-index runs directly off the image
+// (memory-mapped via OpenSnapshotFile where the platform allows),
+// materializing dom.Node storage lazily per hierarchy. Formats v1 and v2
+// (varint tree encodings rebuilt through core.Build) still decode.
 package store
 
 import (
@@ -19,16 +24,21 @@ import (
 
 	"mhxquery/internal/core"
 	"mhxquery/internal/dom"
+	"mhxquery/internal/slab"
 )
 
 // magic and version identify the image format. Version 2 adds the
 // document revision, the WAL sequence number the snapshot covers, and
-// a CRC32C trailer over the whole image; version 1 images (no trailer)
-// still decode.
+// a CRC32C trailer over the whole image; version 3 replaces the varint
+// tree encoding with the mmap-able slab layout (internal/slab). Version
+// 3 writes the version as one byte followed by three zero bytes, so the
+// slab starts 8-byte aligned at offset 8; versions 1 and 2 still decode.
 const (
 	magic    = "MHXG"
 	version1 = 1
-	version  = 2
+	version2 = 2
+	version3 = 3
+	version  = version3
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -57,16 +67,35 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 // Encode writes a binary image of the document to w.
 func Encode(w io.Writer, d *core.Document) error { return EncodeSnapshot(w, d, 0) }
 
-// EncodeSnapshot writes a binary image recording that the snapshot
+// EncodeSnapshot writes a format-v3 image recording that the snapshot
 // covers every WAL record with sequence number ≤ snapSeq.
 func EncodeSnapshot(w io.Writer, d *core.Document, snapSeq uint64) error {
+	blob, err := slab.Encode(d, snapSeq)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	copy(hdr[:], magic)
+	hdr[4] = version3 // bytes 5..7 stay zero so the slab starts aligned
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// EncodeSnapshotV2 writes the legacy varint tree encoding (format v2).
+// Kept for the format-compat suite and for producing images older
+// builds can read.
+func EncodeSnapshotV2(w io.Writer, d *core.Document, snapSeq uint64) error {
+	d.Materialize()
 	cw := &crcWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	e := &encoder{w: bw, intern: map[string]uint64{}}
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
-	e.uvarint(version)
+	e.uvarint(version2)
 	e.uvarint(d.Rev)
 	e.uvarint(snapSeq)
 
@@ -203,8 +232,30 @@ func DecodeSnapshot(r io.Reader) (*core.Document, uint64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: %w", err)
 	}
+	return OpenSnapshotBytes(data)
+}
+
+// OpenSnapshotBytes decodes a snapshot image held in memory. For a v3
+// image the returned document serves base text, bounds and index runs
+// directly off data — which therefore must stay immutable for the
+// document's lifetime — and materializes node storage lazily; v1/v2
+// images are rebuilt eagerly and do not retain data.
+func OpenSnapshotBytes(data []byte) (*core.Document, uint64, error) {
 	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
 		return nil, 0, corrupt("bad magic")
+	}
+	// v3 stores the version as one literal byte (plus three zero pads),
+	// not a uvarint: the check is exact so no alternative encoding of
+	// "3" can smuggle in a differently-framed image.
+	if len(data) >= 8 && data[4] == version3 {
+		if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+			return nil, 0, corrupt("nonzero version padding")
+		}
+		s, err := slab.Open(data[8:])
+		if err != nil {
+			return nil, 0, corrupt("%v", err)
+		}
+		return s.Document(), s.SnapSeq(), nil
 	}
 	body := data[len(magic):]
 	v, n := binary.Uvarint(body)
@@ -216,7 +267,7 @@ func DecodeSnapshot(r io.Reader) (*core.Document, uint64, error) {
 	switch v {
 	case version1:
 		// Legacy image: no revision, no coverage, no trailer.
-	case version:
+	case version2:
 		if len(data) < 4 {
 			return nil, 0, corrupt("truncated image")
 		}
@@ -246,6 +297,28 @@ func DecodeSnapshot(r io.Reader) (*core.Document, uint64, error) {
 	doc.Rev = rev
 	return doc, snapSeq, nil
 }
+
+// OpenSnapshotFile opens a snapshot from disk, memory-mapping v3 images
+// where the platform (and MHX_NO_MMAP) allow so the page cache is
+// shared across processes and nothing is copied up front. The mapping
+// backs the returned document and is retained for the life of the
+// process; legacy images are decoded eagerly and the mapping released.
+func OpenSnapshotFile(path string) (*core.Document, uint64, error) {
+	data, mapped, err := slab.MapFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	doc, seq, err := OpenSnapshotBytes(data)
+	if err != nil || !(len(data) >= 8 && data[4] == version3) {
+		// Nothing aliases the bytes: v1/v2 decoding copies what it keeps.
+		_ = slab.Unmap(data, mapped)
+	}
+	return doc, seq, err
+}
+
+// MmapAvailable reports whether OpenSnapshotFile would memory-map v3
+// images on this host (see slab.UseMmap).
+func MmapAvailable() bool { return slab.UseMmap() }
 
 // decodeBody parses the string table, text and hierarchy trees (the
 // layout shared by both format versions) and rebuilds the document.

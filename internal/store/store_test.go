@@ -124,8 +124,11 @@ func TestImageSmallerThanXML(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The compactness guarantee belongs to the varint tree encoding; the
+	// v3 slab deliberately trades bytes (fixed-width columns, persisted
+	// indexes) for O(1) open and zero-copy serving.
 	var buf bytes.Buffer
-	if err := Encode(&buf, d); err != nil {
+	if err := EncodeSnapshotV2(&buf, d, 0); err != nil {
 		t.Fatal(err)
 	}
 	xmlSize := 0
@@ -204,7 +207,7 @@ func TestDecodeFlagsCorruption(t *testing.T) {
 func TestDecodeLegacyV1Image(t *testing.T) {
 	d := corpus.MustBoethius()
 	var buf bytes.Buffer
-	if err := EncodeSnapshot(&buf, d, 3); err != nil {
+	if err := EncodeSnapshotV2(&buf, d, 3); err != nil {
 		t.Fatal(err)
 	}
 	v2 := buf.Bytes()
@@ -250,6 +253,75 @@ func TestDecodeRejectsNewerVersion(t *testing.T) {
 	// build should fail loudly and actionably.
 	if !strings.Contains(err.Error(), "newer") {
 		t.Fatalf("error %q does not identify a newer-version image", err)
+	}
+}
+
+// TestV3MatchesHeapDecode: opening a v3 slab image yields a document
+// that is observably identical to the heap decode of the same document
+// from a v2 image — same serialization per hierarchy, same stats, same
+// leaf table, same name-index runs.
+func TestV3MatchesHeapDecode(t *testing.T) {
+	for _, seed := range []uint64{2, 9, 31} {
+		c := corpus.Generate(corpus.Params{Seed: seed, Words: 30, DamageRate: 0.2, RestoreRate: 0.2})
+		d, err := c.Document()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Rev = 4
+		var v3, v2 bytes.Buffer
+		if err := EncodeSnapshot(&v3, d, 8); err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeSnapshotV2(&v2, d, 8); err != nil {
+			t.Fatal(err)
+		}
+		slabDoc, slabSeq, err := DecodeSnapshot(bytes.NewReader(v3.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: v3 decode: %v", seed, err)
+		}
+		heapDoc, heapSeq, err := DecodeSnapshot(bytes.NewReader(v2.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: v2 decode: %v", seed, err)
+		}
+		if slabSeq != heapSeq || slabDoc.Rev != heapDoc.Rev {
+			t.Fatalf("seed %d: rev/seq diverged: %d/%d vs %d/%d",
+				seed, slabDoc.Rev, slabSeq, heapDoc.Rev, heapSeq)
+		}
+		if slabDoc.Stats() != heapDoc.Stats() {
+			t.Fatalf("seed %d: stats diverged:\n v3 %+v\n v2 %+v",
+				seed, slabDoc.Stats(), heapDoc.Stats())
+		}
+		if slabDoc.LeafTable() != heapDoc.LeafTable() {
+			t.Fatalf("seed %d: leaf tables diverged", seed)
+		}
+		for _, name := range heapDoc.HierarchyNames() {
+			a, err := slabDoc.Serialize(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := heapDoc.Serialize(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("seed %d: hierarchy %s diverged:\n v3 %s\n v2 %s", seed, name, a, b)
+			}
+			sh, hh := slabDoc.HierarchyByName(name), heapDoc.HierarchyByName(name)
+			for sym, want := range hh.RebuildIndexRuns() {
+				if len(want) == 0 {
+					continue
+				}
+				got := sh.NameRun(int32(sym))
+				if len(got) != len(want) {
+					t.Fatalf("seed %d: hierarchy %s sym %d run diverged", seed, name, sym)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d: hierarchy %s sym %d run diverged at %d", seed, name, sym, i)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -145,6 +145,7 @@ func ReadDocument(r io.Reader) (*Document, error) {
 
 // Leaves returns the leaf layer in text order.
 func (d *Document) Leaves() []Node {
+	d.g.Materialize()
 	out := make([]Node, len(d.g.Leaves))
 	for i, l := range d.g.Leaves {
 		out[i] = Node{n: l, d: d.g}

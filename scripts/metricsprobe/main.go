@@ -14,6 +14,8 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -84,6 +86,9 @@ func main() {
 	}
 	for k, v := range morselProbe() {
 		out[k] = v
+	}
+	if rss, ok := rssBytes(); ok {
+		out["rss_bytes"] = rss
 	}
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(out); err != nil {
@@ -215,4 +220,30 @@ func walProbe() map[string]any {
 		"wal_replayed_records":       rec.Replayed,
 		"wal_torn_tail_bytes":        rec.TornTailBytes,
 	}
+}
+
+// rssBytes reads the process's resident set size from /proc (Linux
+// only; ok=false elsewhere). Recorded next to the latency numbers so
+// the memory cost of the query burst — and of the mmap'd snapshot
+// serving path — is diffable in git.
+func rssBytes() (int64, bool) {
+	status, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(status), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb * 1024, true
+	}
+	return 0, false
 }
