@@ -1046,3 +1046,63 @@ func BenchmarkOpenFirstQuery(b *testing.B) {
 		})
 	}
 }
+
+// ---- P16: cost-based plan choice ----------------------------------------------
+
+// BenchmarkPlanChoice measures the query shapes the synopsis-driven
+// cost model steers — selectivity-ordered predicates, size-ordered
+// FLWOR/quantifier bindings — at 1/10/100× scale, plus the cold
+// compile+plan path itself (parse, lowering, synopsis-based estimation)
+// so planning overhead stays on the recorded perf trajectory.
+func BenchmarkPlanChoice(b *testing.B) {
+	for _, scale := range []struct {
+		name  string
+		words int
+	}{{"1x", 20}, {"10x", 200}, {"100x", 2000}} {
+		c := corpus.Generate(corpus.Params{Seed: 17, Words: scale.words, DamageRate: 0.25, RestoreRate: 0.25})
+		d, err := c.Document()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range []struct {
+			name, src string
+			maxWords  int // 0 = every scale; the quantifier product is
+			// O(words²) with no early exit, so it stops at 10×
+		}{
+			{"predorder", `count(/descendant::w[descendant::zzz][child::node()])`, 0},
+			{"flwororder", `count(for $a in /descendant::w for $b in /descendant::dmg return 1)`, 0},
+			{"quantorder", `some $a in /descendant::w, $b in /descendant::line satisfies exists(child::zzz)`, 200},
+		} {
+			if q.maxWords != 0 && scale.words > q.maxWords {
+				continue
+			}
+			cq := xquery.MustCompile(q.src)
+			res, err := cq.Eval(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := xquery.Serialize(res)
+			b.Run(scale.name+"/"+q.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := cq.Eval(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := xquery.Serialize(res); got != want {
+						b.Fatalf("got %q, want %q", got, want)
+					}
+				}
+			})
+		}
+		b.Run(scale.name+"/plancold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := xquery.MustCompile(`/descendant::vline/child::w[descendant::text()][descendant::zzz]`)
+				if q.PlanFor(d) == nil {
+					b.Fatal("no plan")
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"mhxquery/internal/dom"
+	"mhxquery/internal/synopsis"
 )
 
 // This file is the core half of the frozen-document protocol: a
@@ -40,6 +41,11 @@ type FrozenHier struct {
 	// preorder ordinals). It is installed into the hierarchy's index
 	// slot eagerly, so opening + querying performs zero index builds.
 	Runs map[int32][]int32
+	// Synopsis is the persisted path synopsis, installed eagerly when
+	// non-nil so plan-time cardinality estimation works without
+	// materializing node storage. Images from before the synopsis
+	// section leave it nil (the synopsis stays lazily buildable).
+	Synopsis *synopsis.Tree
 	// Fill populates h.Top and h.Nodes (exactly NumNodes entries, in
 	// preorder, with Ord/Last/Hier/HierIndex/NameSym assigned) and
 	// parents top-level nodes at root. It must not fail: callers
@@ -98,6 +104,9 @@ func NewFrozenDocument(f FrozenDoc) *Document {
 			fillRoot: root,
 		}
 		h.idx.install(fh.Runs)
+		if fh.Synopsis != nil {
+			h.syn.install(fh.Synopsis)
+		}
 		d.ordBase[i] = ord
 		ord += fh.NumNodes
 		d.Hiers = append(d.Hiers, h)

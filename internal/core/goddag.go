@@ -55,6 +55,9 @@ type Hierarchy struct {
 	// is shared by every overlay document reusing this hierarchy, so the
 	// lazy build is synchronized.
 	idx nameIndex
+	// syn is the lazily built path synopsis (synopsis.go), with the same
+	// sharing and synchronization discipline as idx.
+	syn synIndex
 }
 
 // NamedTree pairs a hierarchy name with its parsed document tree.

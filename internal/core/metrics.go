@@ -16,6 +16,13 @@ var (
 	indexBuildNanos atomic.Int64  // wall time spent in those builds
 	indexPatched    atomic.Uint64 // update runs that patched an index incrementally
 	indexLazyReset  atomic.Uint64 // update runs that deferred to a fresh lazy build
+
+	// The path synopsis (synopsis.go) mirrors the name index's
+	// lifecycle, so it gets the same four counters.
+	synopsisBuilds     atomic.Uint64
+	synopsisBuildNanos atomic.Int64
+	synopsisPatched    atomic.Uint64
+	synopsisLazyReset  atomic.Uint64
 )
 
 // IndexStats is a snapshot of the process-wide name-index counters.
@@ -31,15 +38,25 @@ type IndexStats struct {
 	// LazyReset counts hierarchies whose index an update discarded,
 	// deferring to a fresh lazy build on next query.
 	LazyReset uint64
+	// SynopsisBuilds/SynopsisBuildNanos/SynopsisPatched/SynopsisLazyReset
+	// are the same four counters for the path synopsis.
+	SynopsisBuilds     uint64
+	SynopsisBuildNanos int64
+	SynopsisPatched    uint64
+	SynopsisLazyReset  uint64
 }
 
 // GlobalIndexStats returns the current process-wide name-index
 // counters. Values are monotonic for the life of the process.
 func GlobalIndexStats() IndexStats {
 	return IndexStats{
-		Builds:     indexBuilds.Load(),
-		BuildNanos: indexBuildNanos.Load(),
-		Patched:    indexPatched.Load(),
-		LazyReset:  indexLazyReset.Load(),
+		Builds:             indexBuilds.Load(),
+		BuildNanos:         indexBuildNanos.Load(),
+		Patched:            indexPatched.Load(),
+		LazyReset:          indexLazyReset.Load(),
+		SynopsisBuilds:     synopsisBuilds.Load(),
+		SynopsisBuildNanos: synopsisBuildNanos.Load(),
+		SynopsisPatched:    synopsisPatched.Load(),
+		SynopsisLazyReset:  synopsisLazyReset.Load(),
 	}
 }

@@ -1,0 +1,162 @@
+package core
+
+// This file wires the path synopsis (internal/synopsis) into the
+// hierarchy lifecycle, mirroring the structural name index exactly:
+// built lazily under a sync.Once on first use, installed eagerly when a
+// slab image persisted it, patched incrementally across copy-on-write
+// update versions, and rebuilt from scratch as the differential oracle
+// the property tests compare against. An installed tree is shared
+// between document versions and must never be mutated; the update
+// engine patches a private Clone.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mhxquery/internal/dom"
+	"mhxquery/internal/synopsis"
+)
+
+// synIndex is the lazily built synopsis slot of a Hierarchy — the same
+// once/built discipline as nameIndex, for the same reason: overlay
+// documents share Hierarchy values with their base, so unsynchronized
+// lazy initialization would race.
+type synIndex struct {
+	once sync.Once
+	tree *synopsis.Tree
+	// built flips to true (inside the Once) when tree is installed, so
+	// the update engine and the planner can peek at a possibly unbuilt
+	// synopsis without forcing a build.
+	built atomic.Bool
+}
+
+func (sx *synIndex) build(h *Hierarchy) {
+	start := time.Now()
+	sx.tree = synopsis.Build(h.Top)
+	synopsisBuilds.Add(1)
+	synopsisBuildNanos.Add(int64(time.Since(start)))
+	sx.built.Store(true)
+}
+
+// snapshot returns the tree if the synopsis has been built, else nil.
+func (sx *synIndex) snapshot() *synopsis.Tree {
+	if sx.built.Load() {
+		return sx.tree
+	}
+	return nil
+}
+
+// install seeds the slot with an already-computed tree (a persisted
+// slab section, or the incrementally patched synopsis of a new
+// version). A no-op if the synopsis was somehow built first.
+func (sx *synIndex) install(t *synopsis.Tree) {
+	sx.once.Do(func() {
+		sx.tree = t
+		sx.built.Store(true)
+	})
+}
+
+// Synopsis returns the hierarchy's path synopsis, building it from the
+// node storage on first use. An installed synopsis (persisted image or
+// patched update) is returned without materializing a frozen
+// hierarchy's nodes. The returned tree is shared and must not be
+// mutated.
+func (h *Hierarchy) Synopsis() *synopsis.Tree {
+	if t := h.syn.snapshot(); t != nil {
+		return t
+	}
+	h.ensure()
+	h.syn.once.Do(func() { h.syn.build(h) })
+	return h.syn.tree
+}
+
+// SynopsisSnapshot returns the synopsis only if it is already built or
+// installed, else nil — never materializing node storage. This is the
+// planner's view: estimation is best-effort and must not force a frozen
+// document to materialize at plan time.
+func (h *Hierarchy) SynopsisSnapshot() *synopsis.Tree { return h.syn.snapshot() }
+
+// RebuildSynopsis recomputes the synopsis from scratch, ignoring any
+// built (or incrementally maintained) state — the oracle the
+// differential property tests compare Synopsis against.
+func (h *Hierarchy) RebuildSynopsis() *synopsis.Tree {
+	h.ensure()
+	return synopsis.Build(h.Top)
+}
+
+// maintainSynopsis carries h's synopsis across one applyToHierarchy:
+// given the set of old-version parent ordinals whose child lists
+// changed, the new version's synopsis is the old one with each region's
+// old contribution subtracted and its new contribution added. An
+// unbuilt synopsis has nothing to maintain (stays lazy). Root-level
+// child changes (edits targeting top-level nodes) patch the tree-level
+// region — the whole top list — which subsumes every nested region.
+func maintainSynopsis(d *Document, h, h2 *Hierarchy, nodes []*dom.Node, dirty map[int]bool, rootDirty bool, st *UpdateStats) {
+	oldSyn := h.syn.snapshot()
+	switch {
+	case oldSyn == nil:
+		st.SynopsesLazy++
+		synopsisLazyReset.Add(1)
+		return
+	case rootDirty:
+		tree := oldSyn.Clone()
+		if !tree.PatchRegion(nil, h.Top, h2.Top) {
+			st.SynopsesLazy++
+			synopsisLazyReset.Add(1)
+			return
+		}
+		h2.syn.install(tree)
+		st.SynopsesPatched++
+		synopsisPatched.Add(1)
+		return
+	case len(dirty) == 0:
+		// Structure untouched (spans/text content only): the synopsis is
+		// identical and shared with the previous version.
+		h2.syn.install(oldSyn)
+		st.SynopsesPatched++
+		synopsisPatched.Add(1)
+		return
+	}
+	// Reduce the dirty parents to topmost disjoint regions of the OLD
+	// tree. Preorder subtree intervals are nested or disjoint, so one
+	// ascending pass suffices. A topmost dirty node is provably neither
+	// renamed, deleted nor moved by the batch (any of those would have
+	// marked its own parent dirty), so its rooted label path is the same
+	// in both versions and its positional copy nodes[ord] is its new
+	// self.
+	ords := make([]int, 0, len(dirty))
+	for o := range dirty {
+		ords = append(ords, o)
+	}
+	sort.Ints(ords)
+	tree := oldSyn.Clone()
+	ok := true
+	last := -1
+	for _, o := range ords {
+		if o <= last {
+			continue // nested inside the previous region
+		}
+		p := h.Nodes[o]
+		last = p.Last
+		var path []int32
+		for n := p; n != nil && n != d.Root; n = n.Parent {
+			path = append(path, 0)
+			copy(path[1:], path)
+			path[0] = n.NameSym
+		}
+		if !tree.PatchRegion(path, p.Children, nodes[o].Children) {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		st.SynopsesLazy++
+		synopsisLazyReset.Add(1)
+		return
+	}
+	h2.syn.install(tree)
+	st.SynopsesPatched++
+	synopsisPatched.Add(1)
+}

@@ -1,0 +1,171 @@
+package core_test
+
+// The synopsis half of the differential mutation sweep: seeded random
+// edit sequences over random documents; after each successful batch,
+// every hierarchy whose path synopsis was carried incrementally
+// (patched or shared) must agree field-for-field with a from-scratch
+// rebuild, and the previous version's synopsis must be untouched
+// (snapshot isolation).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mhxquery/internal/core"
+	"mhxquery/internal/dom"
+)
+
+// checkSynopses compares each hierarchy's installed synopsis against
+// the rebuild oracle. Hierarchies still on the lazy path (nil
+// snapshot) are skipped — there is nothing maintained to verify.
+func checkSynopses(t *testing.T, d *core.Document, label string) (installed int) {
+	t.Helper()
+	names := d.NameTable()
+	nameOf := func(sym int32) string {
+		if sym >= 1 && int(sym) <= len(names) {
+			return names[sym-1]
+		}
+		return fmt.Sprintf("?%d", sym)
+	}
+	for _, h := range d.Hiers {
+		got := h.SynopsisSnapshot()
+		if got == nil {
+			continue
+		}
+		installed++
+		want := h.RebuildSynopsis()
+		if !got.Equal(want) {
+			t.Fatalf("%s: hierarchy %q: maintained synopsis diverges from rebuild\nmaintained:\n%swant:\n%s",
+				label, h.Name, got.Dump(nameOf), want.Dump(nameOf))
+		}
+	}
+	return installed
+}
+
+func TestSynopsisMaintenanceSweep(t *testing.T) {
+	const sequences = 120
+	applied, patched, lazy := 0, 0, 0
+	for seq := 0; seq < sequences; seq++ {
+		r := rand.New(rand.NewSource(int64(77000 + seq)))
+		d, err := buildRandom(int64(600 + seq%17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm indexes AND synopses so the incremental paths are
+		// exercised (an unbuilt synopsis has nothing to maintain).
+		for _, h := range d.Hiers {
+			h.IndexRuns()
+			h.Synopsis()
+		}
+		nEdits := 1 + r.Intn(4)
+		var edits []core.Edit
+		for k := 0; k < nEdits; k++ {
+			h := d.Hiers[r.Intn(len(d.Hiers))]
+			var elems []*dom.Node
+			for _, n := range h.Nodes {
+				if n.Kind == dom.Element {
+					elems = append(elems, n)
+				}
+			}
+			if len(elems) == 0 {
+				continue
+			}
+			target := elems[r.Intn(len(elems))]
+			switch r.Intn(6) {
+			case 0:
+				edits = append(edits, core.Edit{Kind: core.EditRename, Target: target, Name: fmt.Sprintf("sn%d_%d", seq, k)})
+			case 1:
+				edits = append(edits, core.Edit{Kind: core.EditDelete, Target: target})
+			case 2:
+				from := r.Intn(len(target.Children) + 1)
+				to := from + r.Intn(len(target.Children)-from+1)
+				edits = append(edits, core.Edit{Kind: core.EditWrap, Target: target, Name: fmt.Sprintf("sw%d_%d", seq, k), From: from, To: to})
+			case 3:
+				kind := core.EditInsertBefore
+				if r.Intn(2) == 0 {
+					kind = core.EditInsertAfter
+				}
+				edits = append(edits, core.Edit{Kind: kind, Target: target, Name: fmt.Sprintf("sp%d_%d", seq, k)})
+			case 4:
+				if target.Start < target.End {
+					repl := make([]byte, target.End-target.Start)
+					for i := range repl {
+						repl[i] = byte('p' + r.Intn(4))
+					}
+					edits = append(edits, core.Edit{Kind: core.EditReplaceText, Target: target, Text: string(repl)})
+				}
+			case 5:
+				if r.Intn(2) == 0 && len(d.Text) > 2 {
+					a := r.Intn(len(d.Text) - 1)
+					b := a + 1 + r.Intn(len(d.Text)-a-1)
+					edits = append(edits, core.Edit{Kind: core.EditAddHierarchy, Name: fmt.Sprintf("slayer%d_%d", seq, k),
+						Tops: []*dom.Node{{Kind: dom.Element, Name: fmt.Sprintf("shx%d_%d", seq, k), Start: a, End: b}}})
+				} else {
+					edits = append(edits, core.Edit{Kind: core.EditRemoveHierarchy, Name: h.Name})
+				}
+			}
+		}
+		if len(edits) == 0 {
+			continue
+		}
+		nd, st, err := d.Apply(edits)
+		if err != nil {
+			// Conflicting random batches legitimately fail — atomically.
+			continue
+		}
+		applied++
+		patched += st.SynopsesPatched
+		lazy += st.SynopsesLazy
+		// Accounting: every non-shared hierarchy of the new version was
+		// either patched or deferred, never silently dropped.
+		if st.SynopsesPatched+st.SynopsesLazy != st.HierarchiesCopied+st.HierarchiesAdded {
+			t.Fatalf("seq %d: synopsis accounting %d patched + %d lazy != %d copied + %d added",
+				seq, st.SynopsesPatched, st.SynopsesLazy, st.HierarchiesCopied, st.HierarchiesAdded)
+		}
+		checkSynopses(t, nd, fmt.Sprintf("seq %d (new version)", seq))
+		// Snapshot isolation: the base version's synopses are untouched
+		// and still agree with their own rebuild.
+		checkSynopses(t, d, fmt.Sprintf("seq %d (base version)", seq))
+	}
+	if applied < sequences/2 {
+		t.Fatalf("only %d/%d random batches applied; generator too conflict-happy", applied, sequences)
+	}
+	if patched == 0 {
+		t.Fatal("no batch exercised the incremental synopsis patch path")
+	}
+	t.Logf("applied=%d synopses patched=%d lazy=%d", applied, patched, lazy)
+}
+
+// TestSynopsisSharedHierarchyUntouched pins the sharing path: a batch
+// touching only hierarchy A shares B wholesale, including its synopsis.
+func TestSynopsisSharedHierarchyUntouched(t *testing.T) {
+	d := buildUpdateDoc(t)
+	for _, h := range d.Hiers {
+		h.Synopsis()
+	}
+	seg := pickElem(d, "A", "seg", 1)
+	nd, st, err := d.Apply([]core.Edit{{Kind: core.EditRename, Target: seg, Name: "chunk"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SynopsesPatched != 1 || st.SynopsesLazy != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var a, b *core.Hierarchy
+	for _, h := range nd.Hiers {
+		switch h.Name {
+		case "A":
+			a = h
+		case "B":
+			b = h
+		}
+	}
+	if b.SynopsisSnapshot() == nil {
+		t.Fatal("shared hierarchy lost its synopsis")
+	}
+	if a.SynopsisSnapshot() == nil {
+		t.Fatal("edited hierarchy was not patched")
+	}
+	checkSynopses(t, nd, "after rename")
+}

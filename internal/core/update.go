@@ -109,6 +109,11 @@ type UpdateStats struct {
 	// from-scratch path.
 	IndexesPatched int
 	IndexesLazy    int
+	// SynopsesPatched / SynopsesLazy are the same accounting for the
+	// path synopsis (synopsis.go): carried incrementally from the
+	// previous version versus deferred to a fresh lazy build.
+	SynopsesPatched int
+	SynopsesLazy    int
 	// BoundsRecomputed reports whether the boundary array needed the
 	// full recomputation pass (boundary-retiring edits) instead of the
 	// incremental merge.
@@ -443,6 +448,8 @@ func (d *Document) Apply(edits []Edit) (*Document, *UpdateStats, error) {
 		st.HierarchiesAdded++
 		st.IndexesLazy++
 		indexLazyReset.Add(1)
+		st.SynopsesLazy++
+		synopsisLazyReset.Add(1)
 	}
 
 	for _, h := range d2.Hiers {
@@ -658,6 +665,20 @@ func (d2 *Document) applyToHierarchy(d *Document, h *Hierarchy, newIdx int, hEdi
 	st.HierarchiesCopied++
 	st.NodesCopied += n
 
+	// dirtyOrds collects the OLD ordinals of every element whose child
+	// list this batch changes — the regions the synopsis is patched
+	// over (maintainSynopsis). Changes directly under the shared root
+	// set rootDirty instead.
+	dirtyOrds := make(map[int]bool)
+	rootDirty := false
+	markDirty := func(parent *dom.Node) {
+		if parent == nil || parent == d.Root {
+			rootDirty = true
+			return
+		}
+		dirtyOrds[parent.Ord] = true
+	}
+
 	// ---- drop text nodes a splice emptied ---------------------------------
 	// A text node whose replacement left it with an empty span would
 	// vanish on serialize→reparse; detach it now so the new version is
@@ -671,6 +692,7 @@ func (d2 *Document) applyToHierarchy(d *Document, h *Hierarchy, newIdx int, hEdi
 					return nil, nil, nil, err
 				}
 				structural = true
+				markDirty(old.Parent)
 			}
 		}
 	}
@@ -689,13 +711,16 @@ func (d2 *Document) applyToHierarchy(d *Document, h *Hierarchy, newIdx int, hEdi
 			renamedOrds[e.Target.Ord] = true
 			t.Name = e.Name
 			t.NameSym = d2.intern(e.Name)
+			markDirty(e.Target.Parent)
 		case EditDelete:
 			structural = true
 			if err := spliceOut(d2, h2, t); err != nil {
 				return nil, nil, nil, err
 			}
+			markDirty(e.Target.Parent)
 		case EditWrap:
 			structural = true
+			markDirty(e.Target)
 			kids := t.Children
 			from, to := e.From, e.To
 			if to < 0 {
@@ -737,6 +762,7 @@ func (d2 *Document) applyToHierarchy(d *Document, h *Hierarchy, newIdx int, hEdi
 			}
 			inserted = append(inserted, w)
 			boundPts = append(boundPts, w.Start, w.End)
+			markDirty(e.Target.Parent)
 		}
 	}
 
@@ -810,6 +836,9 @@ func (d2 *Document) applyToHierarchy(d *Document, h *Hierarchy, newIdx int, hEdi
 		st.IndexesPatched++
 		indexPatched.Add(1)
 	}
+
+	// ---- incremental synopsis maintenance ---------------------------------
+	maintainSynopsis(d, h, h2, nodes, dirtyOrds, rootDirty, st)
 	return h2, nodes, boundPts, nil
 }
 

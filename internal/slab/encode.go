@@ -8,14 +8,22 @@ import (
 
 	"mhxquery/internal/core"
 	"mhxquery/internal/dom"
+	"mhxquery/internal/synopsis"
 )
 
 // Encode freezes a document version into one slab image. The document
 // is materialized first (a frozen document re-encodes fine), and the
-// structural name indexes are built if they have not been yet — the
-// snapshot is precisely where that one-time cost belongs, so every
-// future open skips it.
+// structural name indexes and path synopses are built if they have not
+// been yet — the snapshot is precisely where that one-time cost
+// belongs, so every future open skips it.
 func Encode(d *core.Document, snapSeq uint64) ([]byte, error) {
+	return encode(d, snapSeq, true)
+}
+
+// encode does the work; withSynopsis=false reproduces the pre-synopsis
+// image layout (5+3×h sections) so compatibility tests can prove such
+// images still open.
+func encode(d *core.Document, snapSeq uint64, withSynopsis bool) ([]byte, error) {
 	d.Materialize()
 	if uint64(len(d.Text)) >= 1<<32 {
 		return nil, fmt.Errorf("slab: base text of %d bytes exceeds the u32 span limit", len(d.Text))
@@ -72,6 +80,7 @@ func Encode(d *core.Document, snapSeq uint64) ([]byte, error) {
 		attrs    []uint32
 		runSyms  []uint32
 		runOrds  [][]int32
+		syn      []byte
 	}
 	hiers := make([]hierCols, len(d.Hiers))
 	for hi, h := range d.Hiers {
@@ -127,13 +136,12 @@ func Encode(d *core.Document, snapSeq uint64) ([]byte, error) {
 		for i, sym := range hc.runSyms {
 			hc.runOrds[i] = runs[int32(sym)]
 		}
+		if withSynopsis {
+			hc.syn = encodeSynopsis(h.Synopsis())
+		}
 	}
 
 	// ---- assemble the sections in canonical order ------------------------
-	type section struct {
-		kind, hier uint32
-		data       []byte
-	}
 	var sections []section
 	add := func(kind, hier uint32, data []byte) {
 		sections = append(sections, section{kind: kind, hier: hier, data: data})
@@ -220,9 +228,25 @@ func Encode(d *core.Document, snapSeq uint64) ([]byte, error) {
 			}
 		}
 		add(kindRuns, uint32(hi), rn)
+
+		if withSynopsis {
+			add(kindSynopsis, uint32(hi), hc.syn)
+		}
 	}
 
-	// ---- lay out header, section table and payloads ----------------------
+	return layoutImage(d.Rev, snapSeq, uint32(len(d.Hiers)), sections), nil
+}
+
+// section is one payload of the image, with its table-of-contents
+// identity.
+type section struct {
+	kind, hier uint32
+	data       []byte
+}
+
+// layoutImage lays out the header, section table and payloads, filling
+// in every offset and checksum.
+func layoutImage(rev, snapSeq uint64, nHiers uint32, sections []section) []byte {
 	tocLen := tocEntrLen * len(sections)
 	cur := headerLen + tocLen // 8-aligned: 48 + 32k
 	offsets := make([]int, len(sections))
@@ -233,9 +257,9 @@ func Encode(d *core.Document, snapSeq uint64) ([]byte, error) {
 	total := cur
 	buf := make([]byte, total)
 	copy(buf, magic)
-	binary.LittleEndian.PutUint64(buf[8:], d.Rev)
+	binary.LittleEndian.PutUint64(buf[8:], rev)
 	binary.LittleEndian.PutUint64(buf[16:], snapSeq)
-	binary.LittleEndian.PutUint32(buf[24:], uint32(len(d.Hiers)))
+	binary.LittleEndian.PutUint32(buf[24:], nHiers)
 	binary.LittleEndian.PutUint32(buf[28:], uint32(len(sections)))
 	binary.LittleEndian.PutUint64(buf[32:], uint64(total))
 	for i, s := range sections {
@@ -250,7 +274,34 @@ func Encode(d *core.Document, snapSeq uint64) ([]byte, error) {
 	sum := crc32.Checksum(buf[:40], crcTable)
 	sum = crc32.Update(sum, crcTable, buf[headerLen:headerLen+tocLen])
 	binary.LittleEndian.PutUint32(buf[40:], sum)
-	return buf, nil
+	return buf
+}
+
+// encodeSynopsis serializes a path synopsis: u32 path-node count, u32
+// top-level text count, then one 16-byte record per path node in
+// preorder (name symbol, element count, text-child count, child count).
+// Kids are ascending by symbol in the tree, so the byte stream is
+// deterministic — a decoded tree re-encodes byte-identically.
+func encodeSynopsis(t *synopsis.Tree) []byte {
+	cnt := 0
+	t.Walk(func(*synopsis.Node, int) { cnt++ })
+	b := make([]byte, 8+16*cnt)
+	binary.LittleEndian.PutUint32(b[0:], uint32(cnt))
+	binary.LittleEndian.PutUint32(b[4:], uint32(t.Texts))
+	cur := 8
+	var rec func(kids []*synopsis.Node)
+	rec = func(kids []*synopsis.Node) {
+		for _, k := range kids {
+			binary.LittleEndian.PutUint32(b[cur+0:], uint32(k.Sym))
+			binary.LittleEndian.PutUint32(b[cur+4:], uint32(k.Count))
+			binary.LittleEndian.PutUint32(b[cur+8:], uint32(k.Texts))
+			binary.LittleEndian.PutUint32(b[cur+12:], uint32(len(k.Kids)))
+			cur += 16
+			rec(k.Kids)
+		}
+	}
+	rec(t.Kids)
+	return b
 }
 
 func putU32s(dst []byte, vals []uint32) {

@@ -231,6 +231,67 @@ func TestLazyMaterialization(t *testing.T) {
 	}
 }
 
+// TestSynopsisInstalledOnOpen: the persisted path synopsis is installed
+// at open — no build, no node materialization — and agrees
+// field-for-field with a from-scratch rebuild.
+func TestSynopsisInstalledOnOpen(t *testing.T) {
+	for name, d := range testDocs(t) {
+		blob, err := Encode(d, 0) // builds the synopses on the source document
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, err := Open(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		before := core.GlobalIndexStats().SynopsisBuilds
+		d2 := s.Document()
+		for _, h := range d2.Hiers {
+			if h.SynopsisSnapshot() == nil {
+				t.Fatalf("%s: hierarchy %q has no installed synopsis", name, h.Name)
+			}
+			if h.Nodes != nil {
+				t.Fatalf("%s: synopsis read materialized hierarchy %q", name, h.Name)
+			}
+		}
+		if builds := core.GlobalIndexStats().SynopsisBuilds - before; builds != 0 {
+			t.Fatalf("%s: open + snapshot reads performed %d synopsis builds, want 0", name, builds)
+		}
+		for _, h := range d2.Hiers {
+			if got, want := h.SynopsisSnapshot(), h.RebuildSynopsis(); !got.Equal(want) {
+				t.Fatalf("%s: hierarchy %q installed synopsis diverges from rebuild", name, h.Name)
+			}
+		}
+	}
+}
+
+// TestPreSynopsisImageOpens: images written before the synopsis section
+// existed (5+3×h sections) still open and serve identical documents;
+// their synopses stay lazily buildable.
+func TestPreSynopsisImageOpens(t *testing.T) {
+	d := corpus.MustBoethius()
+	blob, err := encode(d, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := s.Document()
+	for _, h := range d2.Hiers {
+		if h.SynopsisSnapshot() != nil {
+			t.Fatalf("hierarchy %q has an installed synopsis in a pre-synopsis image", h.Name)
+		}
+	}
+	requireDocsEqual(t, d2, d)
+	for hi, h := range d2.Hiers {
+		if !h.Synopsis().Equal(d.Hiers[hi].Synopsis()) {
+			t.Fatalf("hierarchy %q lazily built synopsis diverges", h.Name)
+		}
+	}
+}
+
 // TestOpenRejectsCorruption: every truncation and every single-bit flip
 // of a valid image fails Open with the coded corruption error — never a
 // panic, never a silently different document.

@@ -45,6 +45,27 @@ import (
 // analyze-string included) — it is merely fastest on the layout it was
 // planned for. Explain runs a plan with per-operator cardinality
 // counters and renders the full operator tree.
+//
+// Physical choice among those operators is cost-based (estimate.go):
+// the planner estimates per-operator cardinality from the planned
+// document's path synopses, prices chain-scan against level-by-level
+// stepping, orders position-independent infallible predicates by
+// estimated selectivity, and orders independent quantifier/FLWOR
+// bindings by estimated input size. Every reorder is gated so the plan
+// stays result- and error-identical to the canonical order; estimates
+// annotate the explain tree as "est=N" next to observed rows.
+
+// Plan-forcing knobs for the differential test harness: forcePlan
+// overrides the chain-scan/index-scan choice ("" cost-based, "chain"
+// always chain when shape-eligible, "nochain" never chain, "noindex"
+// neither chain nor index scans), forceNoReorder disables every
+// cost-based reorder. Package-private and test-only: production code
+// never sets them, and plans are cached per query, so tests compile a
+// fresh Query per setting.
+var (
+	forcePlan      = ""
+	forceNoReorder = false
+)
 
 // ---- plan structure --------------------------------------------------------
 
@@ -175,7 +196,12 @@ func resolveChainBinding(d *core.Document, chain []*step) chainBinding {
 // ---- planner ---------------------------------------------------------------
 
 type planner struct {
-	pl *Plan
+	pl  *Plan
+	est *estimator
+	// orderFree is set while lowering a FLWOR that feeds an
+	// order-insensitive consumer (exists/empty/count); it licenses
+	// for-binding reorder inside that FLWOR only.
+	orderFree bool
 }
 
 // newPlan lowers q's whole expression tree against d's hierarchy
@@ -183,10 +209,19 @@ type planner struct {
 func newPlan(q *Query, d *core.Document) *Plan {
 	pl := &Plan{q: q, doc: d, sig: d.Signature(), strictOnly: q.strictOnly}
 	pn := &planner{pl: pl}
-	root := &explainNode{op: "query", id: -1}
+	root := &explainNode{op: "query", id: -1, est: -1}
 	pl.prog = pn.lower(q.body, root)
 	pl.root = root
 	return pl
+}
+
+// estimate returns the planner's cardinality estimator, built once per
+// plan from the planned document's path synopses.
+func (pn *planner) estimate() *estimator {
+	if pn.est == nil {
+		pn.est = newEstimator(pn.pl.doc)
+	}
+	return pn.est
 }
 
 func (pn *planner) newOpID() int {
@@ -199,7 +234,7 @@ func (pn *planner) newOpID() int {
 // ties a pnode to its cardinality slot.
 func (pn *planner) enode(parent *explainNode, op, detail string) (*explainNode, pbase) {
 	id := pn.newOpID()
-	en := &explainNode{op: op, detail: detail, id: id}
+	en := &explainNode{op: op, detail: detail, id: id, est: -1}
 	parent.kids = append(parent.kids, en)
 	return en, pbase{id: id}
 }
@@ -207,7 +242,7 @@ func (pn *planner) enode(parent *explainNode, op, detail string) (*explainNode, 
 // group creates a structural explain node (no cardinality slot of its
 // own) under parent.
 func (pn *planner) group(parent *explainNode, op, detail string) *explainNode {
-	en := &explainNode{op: op, detail: detail, id: -1}
+	en := &explainNode{op: op, detail: detail, id: -1, est: -1}
 	parent.kids = append(parent.kids, en)
 	return en
 }
@@ -279,19 +314,29 @@ func (pn *planner) lower(e expr, parent *explainNode) pnode {
 		if x.every {
 			kw = "every"
 		}
-		en, pb := pn.enode(parent, "quantified", kw+" $"+strings.Join(x.names, ", $"))
-		q := &pQuant{pbase: pb, every: x.every, names: x.names}
-		for _, s := range x.srcs {
+		names, srcs := pn.quantOrder(x)
+		en, pb := pn.enode(parent, "quantified", kw+" $"+strings.Join(names, ", $"))
+		q := &pQuant{pbase: pb, every: x.every, names: names}
+		for _, s := range srcs {
 			q.srcs = append(q.srcs, pn.lower(s, en))
 		}
 		q.sat = pn.lower(x.sat, pn.group(en, "satisfies", ""))
 		return q
 	case *flworExpr:
-		return pn.lowerFLWOR(x, parent)
+		of := pn.orderFree
+		pn.orderFree = false
+		return pn.lowerFLWOR(x, parent, of)
 	case *callExpr:
 		en, pb := pn.enode(parent, "call", x.name+"()")
 		call := &pCall{pbase: pb, name: x.name, fn: x.fn}
 		for _, a := range x.args {
+			// A FLWOR feeding exists/empty/count is consumed
+			// order-insensitively: license for-binding reorder inside it.
+			if len(x.args) == 1 && (x.fn == bExists || x.fn == bEmpty || x.fn == bCount) {
+				if _, isFLWOR := a.(*flworExpr); isFLWOR {
+					pn.orderFree = true
+				}
+			}
 			call.args = append(call.args, pn.lower(a, en))
 		}
 		return call
@@ -336,10 +381,113 @@ func (pn *planner) lower(e expr, parent *explainNode) pnode {
 	return &pLiteral{pbase: pb, seq: Seq{}}
 }
 
-func (pn *planner) lowerFLWOR(x *flworExpr, parent *explainNode) pnode {
+// quantOrder returns the quantifier's binding lists, reordered
+// ascending by estimated source cardinality when that is provably
+// unobservable: every source must be independently evaluable (no
+// references to the quantifier's own variables), both sources and the
+// satisfies clause must be infallible (so no error order can diverge),
+// and every source must be estimable. The tuple set is then a cartesian
+// product whose quantified truth is order-insensitive; putting the
+// smallest source outermost minimizes inner re-evaluations.
+func (pn *planner) quantOrder(x *quantExpr) ([]string, []expr) {
+	if forceNoReorder || len(x.srcs) < 2 || !predInfallible(x.sat) {
+		return x.names, x.srcs
+	}
+	bound := make(map[string]bool, len(x.names))
+	for _, n := range x.names {
+		bound[n] = true
+	}
+	est := pn.estimate()
+	rows := make([]float64, len(x.srcs))
+	for i, s := range x.srcs {
+		if !predInfallible(s) || referencesVars(s, bound) {
+			return x.names, x.srcs
+		}
+		r, ok := est.exprRows(s)
+		if !ok {
+			return x.names, x.srcs
+		}
+		rows[i] = r
+	}
+	idx := make([]int, len(x.srcs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return rows[idx[a]] < rows[idx[b]] })
+	names := make([]string, len(idx))
+	srcs := make([]expr, len(idx))
+	for i, j := range idx {
+		names[i], srcs[i] = x.names[j], x.srcs[j]
+	}
+	return names, srcs
+}
+
+// flworClauseOrder returns the FLWOR's clause list with the leading run
+// of for-clauses reordered ascending by estimated source cardinality.
+// Licensed only when the whole FLWOR feeds an order-insensitive
+// consumer (orderFree), carries no order-by, the run's clauses bind no
+// position variables, the run's sources are independent (reference no
+// name bound by any clause), and every source downstream plus the
+// return clause is infallible — so neither the result set nor any error
+// can observe the changed tuple enumeration order.
+func (pn *planner) flworClauseOrder(x *flworExpr, orderFree bool) []flworClause {
+	if !orderFree || forceNoReorder || len(x.order) > 0 {
+		return x.clauses
+	}
+	run := 0
+	for run < len(x.clauses) && x.clauses[run].kind == clauseFor && x.clauses[run].posName == "" {
+		run++
+	}
+	if run < 2 {
+		return x.clauses
+	}
+	bound := make(map[string]bool, len(x.clauses))
+	for _, cl := range x.clauses {
+		if cl.name != "" {
+			bound[cl.name] = true
+		}
+		if cl.posName != "" {
+			bound[cl.posName] = true
+		}
+	}
+	est := pn.estimate()
+	rows := make([]float64, run)
+	for i := 0; i < run; i++ {
+		src := x.clauses[i].src
+		if !predInfallible(src) || referencesVars(src, bound) {
+			return x.clauses
+		}
+		r, ok := est.exprRows(src)
+		if !ok {
+			return x.clauses
+		}
+		rows[i] = r
+	}
+	for _, cl := range x.clauses[run:] {
+		if !predInfallible(cl.src) {
+			return x.clauses
+		}
+	}
+	if !predInfallible(x.ret) {
+		return x.clauses
+	}
+	idx := make([]int, run)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return rows[idx[a]] < rows[idx[b]] })
+	out := make([]flworClause, len(x.clauses))
+	for i, j := range idx {
+		out[i] = x.clauses[j]
+	}
+	copy(out[run:], x.clauses[run:])
+	return out
+}
+
+func (pn *planner) lowerFLWOR(x *flworExpr, parent *explainNode, orderFree bool) pnode {
 	en, pb := pn.enode(parent, "flwor", "")
 	f := &pFLWOR{pbase: pb}
-	for _, cl := range x.clauses {
+	for _, cl := range pn.flworClauseOrder(x, orderFree) {
 		var g *explainNode
 		switch cl.kind {
 		case clauseFor:
@@ -488,11 +636,71 @@ func usesFocusPosition(e expr) bool {
 	return found
 }
 
+// useChainScan decides chain-scan versus level-by-level stepping for a
+// leading child chain, by estimated cost. The chain-scan touches every
+// document-wide instance of the chain's last name; the axis route
+// touches the children of every node actually on the chain prefix. The
+// chain-scan keeps its historical edge except when the synopsis proves
+// the last name globally common but the prefix selective; without a
+// synopsis the historical default (chain) stands.
+func (pn *planner) useChainScan(chain []*step) bool {
+	switch forcePlan {
+	case "chain":
+		return true
+	case "nochain", "noindex":
+		return false
+	}
+	axisCost, chainCost, ok := pn.estimate().chainCosts(chain)
+	return !ok || chainCost <= 3*axisCost+64
+}
+
+// orderPreds returns the step's predicates ordered ascending by
+// estimated selectivity, so the cheapest-to-fail filter runs first.
+// Licensed only when reordering is provably unobservable: no positional
+// shortcut consumes preds[0], every predicate is position-independent
+// (the fusablePreds criterion — predicate order changes each
+// predicate's input positions) and infallible (so no error order can
+// diverge). The AST slice is never mutated; callers get a copy.
+func (pn *planner) orderPreds(ctx estCtx, s *step) []expr {
+	if forceNoReorder || len(s.preds) < 2 || s.posSel != 0 || !fusablePreds(s.preds) {
+		return s.preds
+	}
+	for _, pr := range s.preds {
+		if !predInfallible(pr) {
+			return s.preds
+		}
+	}
+	base := pn.estimate().stepBase(ctx, s)
+	if !base.known {
+		return s.preds
+	}
+	sels := make([]float64, len(s.preds))
+	for i, pr := range s.preds {
+		sels[i] = pn.estimate().predSel(base, pr)
+	}
+	idx := make([]int, len(s.preds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sels[idx[a]] < sels[idx[b]] })
+	out := make([]expr, len(idx))
+	for i, j := range idx {
+		out[i] = s.preds[j]
+	}
+	return out
+}
+
 func (pn *planner) lowerPath(p *pathExpr, parent *explainNode) pnode {
 	node, pb := pn.enode(parent, "path", describePath(p))
 	pp := &pPath{pbase: pb, absolute: p.absolute}
+	est := pn.estimate()
+	// ctx is the estimated context flowing between operators; only an
+	// absolute path from the shared root starts known.
+	ctx := estUnknown
 	if p.start != nil {
 		pp.start = pn.lower(p.start, node)
+	} else if p.absolute {
+		ctx = est.rootCtx()
 	}
 	steps := p.steps
 	i := 0
@@ -503,13 +711,14 @@ func (pn *planner) lowerPath(p *pathExpr, parent *explainNode) pnode {
 		for k < len(steps) && chainableStep(steps[k]) {
 			k++
 		}
-		if k >= 2 {
+		if k >= 2 && pn.useChainScan(steps[:k]) {
 			op := &pathOp{kind: opChainScan, chn: steps[:k], id: pn.newOpID()}
 			op.parallel = !pn.pl.strictOnly
 			op.chainBind = resolveChainBinding(pn.pl.doc, op.chn)
+			ctx = est.chainEst(op.chn)
 			node.kids = append(node.kids, &explainNode{
 				op: "chain-scan", detail: describeChain(op.chn), index: true,
-				parallel: op.parallel, id: op.id,
+				parallel: op.parallel, id: op.id, est: ctx.estInt(),
 			})
 			pp.ops = append(pp.ops, op)
 			i = k
@@ -536,12 +745,13 @@ func (pn *planner) lowerPath(p *pathExpr, parent *explainNode) pnode {
 		switch {
 		case s.prim != nil:
 			op = &pathOp{kind: opPrimStep, id: pn.newOpID()}
-			en = &explainNode{op: "primary", detail: "expr()", id: op.id}
+			en = &explainNode{op: "primary", detail: "expr()", id: op.id, est: -1}
 			node.kids = append(node.kids, en)
 			op.s = &step{axis: s.axis, test: s.test, posSel: s.posSel, prim: pn.lower(s.prim, en)}
 			pp.ops = append(pp.ops, op)
+			ctx = estUnknown
 			continue
-		case indexableStep(s):
+		case indexableStep(s) && forcePlan != "noindex":
 			op = &pathOp{kind: opIndexScan, id: pn.newOpID()}
 			// Eligible for morsel-parallel predicate filtering when every
 			// predicate is provably position-independent (the fusablePreds
@@ -552,21 +762,25 @@ func (pn *planner) lowerPath(p *pathExpr, parent *explainNode) pnode {
 				len(s.preds) > 0 && fusablePreds(s.preds)
 			op.bind = resolveIndexBinding(pn.pl.doc, s)
 			en = &explainNode{op: "index-scan", detail: describeStep(s), index: true,
-				parallel: op.parallel, id: op.id}
+				parallel: op.parallel, id: op.id, est: -1}
 		default:
 			op = &pathOp{kind: opAxisStep, id: pn.newOpID()}
-			en = &explainNode{op: "axis-step", detail: describeStep(s), id: op.id}
+			en = &explainNode{op: "axis-step", detail: describeStep(s), id: op.id, est: -1}
 		}
 		node.kids = append(node.kids, en)
+		preds := pn.orderPreds(ctx, s)
+		ctx = est.estStep(ctx, s)
+		en.est = ctx.estInt()
 		// Plan copy of the step: the same axis/test/positional shortcut,
 		// with predicates lowered into the physical engine.
 		cs := &step{axis: s.axis, test: s.test, posSel: s.posSel}
-		for _, pr := range s.preds {
+		for _, pr := range preds {
 			cs.preds = append(cs.preds, pn.lower(pr, en))
 		}
 		op.s = cs
 		pp.ops = append(pp.ops, op)
 	}
+	node.est = ctx.estInt()
 	for oi, op := range pp.ops {
 		if op.kind == opPrimStep {
 			op.primLast = oi == len(pp.ops)-1
@@ -1026,6 +1240,11 @@ type ExplainOp struct {
 	Calls   int64  `json:"calls,omitempty"`
 	InRows  int64  `json:"in_rows,omitempty"`
 	OutRows int64  `json:"out_rows,omitempty"`
+	// EstRows is the planner's synopsis-based output-cardinality
+	// estimate (nil: the planner had no estimate for this operator); the
+	// detail line gains an "est=N" suffix. Compare against OutRows from
+	// an instrumented run to judge estimate accuracy.
+	EstRows *int64 `json:"est_rows,omitempty"`
 	// Nanos is the operator's observed wall time under EXPLAIN ANALYZE
 	// (zero under plain EXPLAIN). Times are inclusive: an operator's
 	// Nanos contains the time of the operators it pulled from. At the
@@ -1045,12 +1264,14 @@ type ExplainOp struct {
 }
 
 // explainNode is the plan-time skeleton of the operator tree; id indexes
-// the cardinality counter slot (-1 for structural nodes).
+// the cardinality counter slot (-1 for structural nodes) and est is the
+// planner's estimated output cardinality (-1: no estimate).
 type explainNode struct {
 	op, detail string
 	index      bool
 	parallel   bool
 	id         int
+	est        int64
 	kids       []*explainNode
 }
 
@@ -1062,6 +1283,11 @@ func (pl *Plan) render(counts []opCard) *ExplainOp { return renderExplain(pl.roo
 
 func renderExplain(n *explainNode, counts []opCard) *ExplainOp {
 	out := &ExplainOp{Op: n.op, Detail: n.detail, Index: n.index, Parallel: n.parallel}
+	if n.est >= 0 {
+		est := n.est
+		out.EstRows = &est
+		out.Detail += " est=" + strconv.FormatInt(est, 10)
+	}
 	if n.id >= 0 && n.id < len(counts) {
 		cd := counts[n.id]
 		out.Calls, out.InRows, out.OutRows = cd.calls, cd.in, cd.out

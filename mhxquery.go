@@ -175,6 +175,9 @@ type UpdateStats struct {
 	// incrementally from the previous version; IndexesLazy those left
 	// to the lazy from-scratch build.
 	IndexesPatched, IndexesLazy int
+	// SynopsesPatched / SynopsesLazy are the same accounting for the
+	// path synopses the cost-based planner estimates from.
+	SynopsesPatched, SynopsesLazy int
 	// BoundsRecomputed reports whether the leaf partition's boundary
 	// array needed full recomputation (boundary-retiring edits) rather
 	// than an incremental merge.
@@ -192,6 +195,8 @@ func updateStatsFrom(rep *xquery.UpdateReport) UpdateStats {
 		HierarchiesRemoved: rep.Stats.HierarchiesRemoved,
 		IndexesPatched:     rep.Stats.IndexesPatched,
 		IndexesLazy:        rep.Stats.IndexesLazy,
+		SynopsesPatched:    rep.Stats.SynopsesPatched,
+		SynopsesLazy:       rep.Stats.SynopsesLazy,
 		BoundsRecomputed:   rep.Stats.BoundsRecomputed,
 	}
 }
@@ -366,6 +371,11 @@ type PlanOp struct {
 	Calls   int64  `json:"calls,omitempty"`
 	InRows  int64  `json:"in_rows,omitempty"`
 	OutRows int64  `json:"out_rows,omitempty"`
+	// EstRows is the planner's estimated output cardinality for the
+	// operator, derived from the document's path synopsis (nil when the
+	// planner had no estimate). Compare against OutRows to judge
+	// estimate accuracy; the Detail line carries an "est=N" suffix.
+	EstRows *int64 `json:"est_rows,omitempty"`
 	Nanos   int64  `json:"nanos,omitempty"`
 	// Parallel marks operators eligible for morsel-driven parallel
 	// execution; when an analyzed evaluation engaged it, Morsels counts
@@ -387,7 +397,7 @@ func planOpFrom(e *xquery.ExplainOp) *PlanOp {
 	out := &PlanOp{
 		Op: e.Op, Detail: e.Detail, Index: e.Index,
 		Calls: e.Calls, InRows: e.InRows, OutRows: e.OutRows,
-		Nanos:    e.Nanos,
+		EstRows: e.EstRows, Nanos: e.Nanos,
 		Parallel: e.Parallel, Workers: e.Workers,
 		Morsels: e.Morsels, WorkerRows: e.WorkerRows,
 	}

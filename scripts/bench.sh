@@ -5,8 +5,9 @@
 # P9 path-pipeline fixtures, the P10 indexed-descendant fixtures, the
 # P11 early-exit/FLWOR cursor fixtures, the P12 copy-on-write
 # update fixtures, the P13 durable-update fixtures, WAL vs
-# write-through, and the P14 morsel-parallel scan fixtures at
-# 1/2/4/GOMAXPROCS workers) with -count repetitions, prints the raw
+# write-through, the P14 morsel-parallel scan fixtures at
+# 1/2/4/GOMAXPROCS workers, and the P16 cost-based plan-choice
+# fixtures) with -count repetitions, prints the raw
 # `go test -bench` output, and writes the best (minimum ns/op) run per
 # benchmark to a JSON file so the perf trajectory is diffable in git.
 #
@@ -17,7 +18,7 @@
 set -eu
 
 COUNT=5
-BENCH='BenchmarkOpenCold|BenchmarkOpenFirstQuery|BenchmarkQuery|BenchmarkPathPipeline|BenchmarkExample1AnalyzeString|BenchmarkIndexedDescendant|BenchmarkEarlyExit|BenchmarkFLWORJoin|BenchmarkUpdateSmallEdit|BenchmarkUpdateLargestHier|BenchmarkUpdateReparse|BenchmarkUpdateExpression|BenchmarkUpdateDurable|BenchmarkParallelScan'
+BENCH='BenchmarkOpenCold|BenchmarkOpenFirstQuery|BenchmarkQuery|BenchmarkPathPipeline|BenchmarkExample1AnalyzeString|BenchmarkIndexedDescendant|BenchmarkEarlyExit|BenchmarkFLWORJoin|BenchmarkUpdateSmallEdit|BenchmarkUpdateLargestHier|BenchmarkUpdateReparse|BenchmarkUpdateExpression|BenchmarkUpdateDurable|BenchmarkParallelScan|BenchmarkPlanChoice'
 OUT=BENCH_eval.json
 while [ $# -gt 0 ]; do
 	case "$1" in
